@@ -1,0 +1,200 @@
+// Benchmarks: one target per reproduced table/figure (E01–E16, see DESIGN.md
+// §3 and EXPERIMENTS.md), plus micro-benchmarks of the substrates. The
+// experiment benches execute the same workloads as cmd/experiments, so
+// `go test -bench=. -benchmem` regenerates every reproduced result and
+// reports its simulation cost.
+package clocksync_test
+
+import (
+	"math/rand"
+	"testing"
+
+	clocksync "repro"
+	"repro/internal/agreement"
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE01Halving(b *testing.B)         { benchExperiment(b, "E01") }
+func BenchmarkE02Agreement(b *testing.B)       { benchExperiment(b, "E02") }
+func BenchmarkE03Adjustment(b *testing.B)      { benchExperiment(b, "E03") }
+func BenchmarkE04Validity(b *testing.B)        { benchExperiment(b, "E04") }
+func BenchmarkE05FaultSweep(b *testing.B)      { benchExperiment(b, "E05") }
+func BenchmarkE06Startup(b *testing.B)         { benchExperiment(b, "E06") }
+func BenchmarkE07Reintegration(b *testing.B)   { benchExperiment(b, "E07") }
+func BenchmarkE08Comparison(b *testing.B)      { benchExperiment(b, "E08") }
+func BenchmarkE09MeanMid(b *testing.B)         { benchExperiment(b, "E09") }
+func BenchmarkE10KExchange(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Stagger(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12Degradation(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13EpsSweep(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14ApproxAgreement(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15Lifecycle(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16Ablation(b *testing.B)        { benchExperiment(b, "E16") }
+
+// BenchmarkMaintenanceRound measures the end-to-end simulation cost per
+// synchronization round at several system sizes.
+func BenchmarkMaintenanceRound(b *testing.B) {
+	for _, nf := range []struct{ n, f int }{{4, 1}, {7, 2}, {13, 4}, {31, 10}} {
+		b.Run(benchName(nf.n, nf.f), func(b *testing.B) {
+			cfg := core.Config{Params: analysis.Default(nf.n, nf.f)}
+			rounds := 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(exp.Workload{Cfg: cfg, Rounds: rounds, Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds.Rounds() < rounds {
+					b.Fatalf("only %d rounds", res.Rounds.Rounds())
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+		})
+	}
+}
+
+func benchName(n, f int) string {
+	return "n=" + itoa(n) + "/f=" + itoa(f)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkPublicAPI measures a complete Run through the facade.
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := clocksync.New(7, 2, clocksync.WithSeed(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultTolerantMidpoint measures the averaging function itself.
+func BenchmarkFaultTolerantMidpoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 31)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiset.FaultTolerantMidpoint(multiset.New(vals...), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistX measures the x-distance matcher on mid-sized multisets.
+func BenchmarkDistX(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	u := make([]float64, 64)
+	v := make([]float64, 64)
+	for i := range u {
+		u[i] = rng.Float64()
+		v[i] = rng.Float64()
+	}
+	mu, mv := multiset.New(u...), multiset.New(v...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiset.DistX(mu, mv, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClockInverse measures piecewise-linear clock inversion, the hot
+// operation of timer scheduling.
+func BenchmarkClockInverse(b *testing.B) {
+	sched := clock.RandomWalkDrift{RhoBound: 1e-4, SegmentDur: 1, Horizon: 3600, Seed: 3}
+	c := sched.Build(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Inv(clock.Local(float64(i%3600) + 0.5))
+	}
+}
+
+// BenchmarkEngineThroughput measures raw event-processing speed: messages
+// delivered per second through the full queue/clock/delay stack.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := core.Config{Params: analysis.Default(7, 2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(exp.Workload{Cfg: cfg, Rounds: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Engine.Steps()), "events/op")
+	}
+}
+
+// BenchmarkApproxAgreementRound measures one synchronous approximate
+// agreement round at n=31.
+func BenchmarkApproxAgreementRound(b *testing.B) {
+	adv := &agreement.SpreadAdversary{}
+	cfg := agreement.Config{N: 31, F: 10, Averager: agreement.Midpoint, Adversary: adv}
+	init := make([]float64, 31)
+	faulty := make([]bool, 31)
+	for i := 0; i < 10; i++ {
+		faulty[30-i] = true
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := range init {
+		init[i] = rng.Float64()
+	}
+	st, err := agreement.New(cfg, init, faulty)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv.Observe(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEtherRoute measures the collision channel bookkeeping.
+func BenchmarkEtherRoute(b *testing.B) {
+	ch := sim.NewEther(0.002, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := clock.Real(float64(i) * 1e-4)
+		ch.Route(sim.ProcID(i%10), sim.ProcID((i+1)%10), t, 0.01)
+	}
+}

@@ -1,0 +1,291 @@
+// Package clocksync is a fault-tolerant clock synchronization library — a
+// from-scratch Go reproduction of Welch & Lynch, "A New Fault-Tolerant
+// Algorithm for Clock Synchronization" (PODC 1984; Information and
+// Computation 77(1), 1988).
+//
+// It simulates a fully connected system of n processes with ρ-bounded
+// drifting physical clocks and message delays in [δ−ε, δ+ε], of which up to
+// f < n/3 may be Byzantine, and maintains the processes' logical clocks
+// within a small constant γ of each other using the paper's fault-tolerant
+// averaging function mid(reduce_f(·)).
+//
+// Quick start:
+//
+//	c, err := clocksync.New(7, 2)
+//	if err != nil { ... }
+//	report, err := c.Run(20)
+//	fmt.Println(report)
+//
+// The package also exposes the paper's extensions: establishing
+// synchronization from arbitrary clocks (RunStartup, §9.2), reintegrating a
+// repaired process (WithRejoiner, §9.1), k exchanges per round and mean
+// averaging (§7), and staggered broadcasts for collision-prone datagram
+// networks (WithStagger, §9.3). Baseline algorithms from the paper's
+// comparison section and the full experiment suite live under internal/ and
+// cmd/experiments.
+package clocksync
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Cluster is a configured system of processes ready to simulate.
+type Cluster struct {
+	cfg      core.Config
+	opts     options
+	rejoiner *core.Rejoiner
+}
+
+// New configures a cluster of n processes tolerating f Byzantine faults
+// (n ≥ 3f+1). Defaults follow DESIGN.md §6: ρ=1e−5, δ=10ms, ε=1ms, β=5.5ms,
+// P=1s; override with Options. Parameters are validated against every §5.2
+// constraint of the paper.
+func New(n, f int, opts ...Option) (*Cluster, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	params := analysis.Params{
+		N: n, F: f,
+		Rho: o.rho, Delta: o.delta, Eps: o.eps,
+		Beta: o.beta, P: o.roundLength, T0: o.t0,
+	}
+	if o.deriveBeta {
+		sp, err := analysis.Suggest(n, f, o.rho, o.delta, o.eps, o.roundLength)
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		params.Beta = sp.Beta
+	}
+	cfg := core.Config{
+		Params:   params,
+		Averager: o.averager,
+		K:        o.k,
+		Stagger:  o.stagger,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	if len(o.faults) > f {
+		return nil, fmt.Errorf("clocksync: %d faults configured but f = %d", len(o.faults), f)
+	}
+	for id := range o.faults {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("clocksync: fault id %d out of range [0,%d)", id, n)
+		}
+	}
+	return &Cluster{cfg: cfg, opts: o}, nil
+}
+
+// Params returns the validated parameter set in effect.
+func (c *Cluster) Params() analysis.Params { return c.cfg.Params }
+
+// Run simulates the given number of synchronization rounds and reports the
+// measured quantities next to the paper's bounds.
+func (c *Cluster) Run(rounds int) (*Report, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("clocksync: rounds must be positive, got %d", rounds)
+	}
+	w := exp.Workload{
+		Cfg:           c.cfg,
+		Rounds:        rounds,
+		Seed:          c.opts.seed,
+		Delay:         c.opts.delayModel(c.cfg),
+		Drift:         c.opts.driftSchedule(c.cfg),
+		InitialSpread: c.opts.initialSpread,
+		SkewBucket:    c.opts.skewBucket,
+	}
+	var tracer *sim.Tracer
+	if c.opts.traceLimit > 0 {
+		tracer = sim.NewTracer(c.opts.traceLimit)
+		w.Observers = append(w.Observers, tracer)
+	}
+	if len(c.opts.faults) > 0 || c.opts.rejoinID >= 0 {
+		w.Faults = make(map[sim.ProcID]func() sim.Process, len(c.opts.faults)+1)
+		for id, kind := range c.opts.faults {
+			w.Faults[sim.ProcID(id)] = c.faultBuilder(kind)
+		}
+		if c.opts.rejoinID >= 0 {
+			id := sim.ProcID(c.opts.rejoinID)
+			w.Faults[id] = func() sim.Process {
+				c.rejoiner = core.NewRejoiner(c.cfg, clock.Local(c.opts.rejoinCorr))
+				return c.rejoiner
+			}
+			w.StartOverride = map[sim.ProcID]clock.Real{id: clock.Real(c.opts.rejoinWake)}
+		}
+	}
+	res, err := exp.Run(w)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	rep := buildReport(c.cfg, res, c.rejoiner)
+	if tracer != nil {
+		var b strings.Builder
+		if _, err := tracer.WriteTo(&b); err != nil {
+			return nil, fmt.Errorf("clocksync: render trace: %w", err)
+		}
+		rep.Trace = b.String()
+	}
+	return rep, nil
+}
+
+func (c *Cluster) faultBuilder(kind FaultKind) func() sim.Process {
+	cfg := c.cfg
+	switch kind {
+	case FaultSilent:
+		return func() sim.Process { return faults.Silent{} }
+	case FaultTwoFaced:
+		return func() sim.Process {
+			return &faults.TwoFaced{Cfg: cfg, Lead: 3 * cfg.Eps, Lag: 3 * cfg.Eps}
+		}
+	case FaultNoise:
+		return func() sim.Process { return &faults.Noise{Cfg: cfg} }
+	case FaultStaleReplay:
+		return func() sim.Process { return &faults.StaleReplay{Cfg: cfg, Offset: 3 * cfg.Eps} }
+	case FaultCrashMidRun:
+		return func() sim.Process {
+			at := clock.Local(cfg.T0 + 5*cfg.P)
+			return &faults.CrashAfter{Inner: core.NewProc(cfg, 0), At: at}
+		}
+	default:
+		return func() sim.Process { return faults.Silent{} }
+	}
+}
+
+// RunStartup executes the §9.2 establishment algorithm from clocks spread
+// arbitrarily over `spread` seconds, for approximately `rounds` rounds, and
+// reports the per-round closeness Bᵢ with the Lemma 20 recurrence.
+func RunStartup(n, f int, spread float64, rounds int, opts ...Option) (*StartupReport, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	params := analysis.Params{
+		N: n, F: f,
+		Rho: o.rho, Delta: o.delta, Eps: o.eps,
+		Beta: o.beta, P: o.roundLength, T0: o.t0,
+	}
+	cfg := core.Config{Params: params, Averager: o.averager}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	if rounds <= 0 {
+		rounds = 15
+	}
+	// Each startup round takes ≈ StartupWait1+StartupWait2+2δ real time.
+	perRound := params.StartupWait1() + params.StartupWait2() + 2*params.Delta
+	horizon := clock.Real(float64(rounds)*perRound + 1)
+	bs, final, err := exp.RunStartup(cfg, spread, horizon, o.seed)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: startup: %w", err)
+	}
+	return &StartupReport{
+		BSeries:    bs,
+		FinalSkew:  final,
+		Floor:      params.StartupFloor(),
+		FourEps:    4 * params.Eps,
+		Recurrence: params.StartupStep,
+	}, nil
+}
+
+// RunEstablishThenMaintain runs the paper's full lifecycle: the §9.2
+// start-up algorithm from clocks spread over `spread` seconds, a switch to
+// the §4.2 maintenance algorithm after startupRounds rounds (see
+// core.SwitchProc for the message-free switch rule), and then maintRounds of
+// maintenance. The report's skew fields cover the maintenance phase.
+func RunEstablishThenMaintain(n, f int, spread float64, startupRounds, maintRounds int, opts ...Option) (*Report, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	params := analysis.Params{
+		N: n, F: f,
+		Rho: o.rho, Delta: o.delta, Eps: o.eps,
+		Beta: o.beta, P: o.roundLength, T0: o.t0,
+	}
+	cfg := core.Config{Params: params, Averager: o.averager}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	if startupRounds < 2 {
+		startupRounds = 2
+	}
+	if maintRounds <= 0 {
+		maintRounds = 10
+	}
+
+	drift := o.driftSchedule(cfg)
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, clock.Local(spread), o.seed)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		procs[i] = core.NewSwitchProc(cfg, corrs[i], startupRounds)
+		starts[i] = clock.Real(i) * 0.003
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   o.delayModel(cfg),
+		Seed:    o.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	perStartupRound := params.StartupWait1() + params.StartupWait2() + 2*params.Delta
+	switchSlack := 3 * params.P // the epoch is up to ~2P after the switch decision
+	horizon := clock.Real(float64(startupRounds)*perStartupRound + switchSlack + float64(maintRounds)*params.P*(1+2*params.Rho) + 1)
+
+	skew := &metrics.SkewRecorder{
+		// Steady state: after startup, switch and a couple of maintenance
+		// rounds.
+		Warmup: clock.Real(float64(startupRounds)*perStartupRound + switchSlack + 2*params.P),
+		Bucket: o.skewBucket,
+	}
+	rrec := metrics.NewDefaultRoundRecorder()
+	eng.Observe(skew)
+	eng.Observe(rrec)
+	if err := eng.Run(horizon); err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		sp := eng.Process(sim.ProcID(i)).(*core.SwitchProc)
+		if !sp.Switched() {
+			return nil, fmt.Errorf("clocksync: process %d never switched to maintenance (startup round %d)", i, sp.StartupRound())
+		}
+	}
+	return &Report{
+		Rounds:        minMaintRound(eng, n),
+		MaxSkew:       skew.Max(),
+		SteadySkew:    skew.MaxAfterWarmup(),
+		Gamma:         cfg.Gamma(),
+		BetaFloor:     cfg.BetaFloor(),
+		MaxAdjustment: rrec.MaxAbsAdj(skew.Warmup),
+		AdjBound:      cfg.AdjBound(),
+		MessagesSent:  eng.MessagesSent(),
+		MessagesLost:  eng.MessagesLost(),
+		SkewSeries:    skew.Series(),
+	}, nil
+}
+
+func minMaintRound(eng *sim.Engine, n int) int {
+	min := -1
+	for i := 0; i < n; i++ {
+		sp := eng.Process(sim.ProcID(i)).(*core.SwitchProc)
+		if r := sp.MaintenanceRound(); min < 0 || r < min {
+			min = r
+		}
+	}
+	return min
+}

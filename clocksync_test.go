@@ -1,0 +1,276 @@
+package clocksync_test
+
+import (
+	"strings"
+	"testing"
+
+	clocksync "repro"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, f    int
+		opts    []clocksync.Option
+		wantErr bool
+	}{
+		{"default 7/2", 7, 2, nil, false},
+		{"minimum 4/1", 4, 1, nil, false},
+		{"fault-free singleton", 1, 0, nil, false},
+		{"n too small", 6, 2, nil, true},
+		{"too many faults configured", 7, 2, []clocksync.Option{
+			clocksync.WithFault(4, clocksync.FaultSilent),
+			clocksync.WithFault(5, clocksync.FaultSilent),
+			clocksync.WithFault(6, clocksync.FaultSilent),
+		}, true},
+		{"fault id out of range", 7, 2, []clocksync.Option{
+			clocksync.WithFault(7, clocksync.FaultSilent),
+		}, true},
+		{"bad round length", 7, 2, []clocksync.Option{clocksync.WithRoundLength(1e-4)}, true},
+		{"custom regime ok", 7, 2, []clocksync.Option{
+			clocksync.WithRho(1e-6),
+			clocksync.WithDelay(1e-3, 0.1e-3),
+			clocksync.WithBeta(0.6e-3),
+			clocksync.WithRoundLength(0.5),
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := clocksync.New(tt.n, tt.f, tt.opts...)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunFaultFree(t *testing.T) {
+	c, err := clocksync.New(7, 2, clocksync.WithSkewSeries(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AgreementHolds() || !rep.AdjustmentBoundHolds() || !rep.ValidityHolds() {
+		t.Errorf("paper bounds violated:\n%s", rep)
+	}
+	if rep.Rounds < 12 {
+		t.Errorf("completed %d rounds, want ≥ 12", rep.Rounds)
+	}
+	if len(rep.SkewSeries) == 0 {
+		t.Error("skew series missing despite WithSkewSeries")
+	}
+	if rep.MessagesSent == 0 {
+		t.Error("no messages counted")
+	}
+	s := rep.String()
+	for _, want := range []string{"agreement", "adjustment", "validity", "holds"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRunRejectsBadRounds(t *testing.T) {
+	c, err := clocksync.New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(0); err == nil {
+		t.Error("Run(0) should error")
+	}
+}
+
+func TestRunWithEveryFaultKind(t *testing.T) {
+	kinds := []clocksync.FaultKind{
+		clocksync.FaultSilent,
+		clocksync.FaultTwoFaced,
+		clocksync.FaultNoise,
+		clocksync.FaultStaleReplay,
+		clocksync.FaultCrashMidRun,
+	}
+	for _, kind := range kinds {
+		c, err := clocksync.New(7, 2,
+			clocksync.WithFault(5, kind),
+			clocksync.WithFault(6, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.AgreementHolds() {
+			t.Errorf("fault kind %d: skew %v exceeds γ %v", kind, rep.MaxSkew, rep.Gamma)
+		}
+	}
+}
+
+func TestRunWithRejoiner(t *testing.T) {
+	c, err := clocksync.New(7, 2, clocksync.WithRejoiner(6, 5.4, 99.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Rejoined {
+		t.Error("rejoiner did not complete reintegration")
+	}
+	if !rep.AgreementHolds() {
+		t.Errorf("agreement violated with rejoiner:\n%s", rep)
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []clocksync.Option
+	}{
+		{"mean averaging", []clocksync.Option{clocksync.WithAveraging(clocksync.Mean)}},
+		{"k exchanges", []clocksync.Option{clocksync.WithKExchanges(2)}},
+		{"stagger", []clocksync.Option{clocksync.WithStagger(1e-3)}},
+		{"adversarial delays", []clocksync.Option{clocksync.WithDelayDistribution(clocksync.DelayAdversarial)}},
+		{"constant delays", []clocksync.Option{clocksync.WithDelayDistribution(clocksync.DelayConstant)}},
+		{"random drift", []clocksync.Option{clocksync.WithRandomDrift()}},
+		{"seeded", []clocksync.Option{clocksync.WithSeed(99)}},
+		{"t0 shifted", []clocksync.Option{clocksync.WithT0(100)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := clocksync.New(7, 2, tt.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Run(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Stagger loosens agreement by a drift-order term only; use a
+			// small allowance above γ for it.
+			if rep.MaxSkew > rep.Gamma*1.1 {
+				t.Errorf("skew %v well above γ %v:\n%s", rep.MaxSkew, rep.Gamma, rep)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *clocksync.Report {
+		c, err := clocksync.New(7, 2, clocksync.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.MaxSkew != b.MaxSkew || a.MaxAdjustment != b.MaxAdjustment {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestRunStartup(t *testing.T) {
+	rep, err := clocksync.RunStartup(7, 2, 3.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BSeries) < 10 {
+		t.Fatalf("only %d startup rounds", len(rep.BSeries))
+	}
+	if !rep.Converged(2.0) {
+		t.Errorf("startup did not converge: final %v vs floor %v", rep.FinalSkew, rep.Floor)
+	}
+	if rep.BSeries[0] < 0.5 {
+		t.Errorf("initial closeness %v suspiciously small for 3s spread", rep.BSeries[0])
+	}
+	if !strings.Contains(rep.String(), "final skew") {
+		t.Error("startup report rendering incomplete")
+	}
+}
+
+func TestRunStartupValidation(t *testing.T) {
+	if _, err := clocksync.RunStartup(3, 1, 1.0, 5); err == nil {
+		t.Error("n=3,f=1 should be rejected")
+	}
+}
+
+func TestParamsExposed(t *testing.T) {
+	c, err := clocksync.New(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Params()
+	if p.N != 7 || p.F != 2 {
+		t.Errorf("Params = %+v", p)
+	}
+	if p.Gamma() <= 0 {
+		t.Error("Gamma not positive")
+	}
+}
+
+func TestRunEstablishThenMaintain(t *testing.T) {
+	rep, err := clocksync.RunEstablishThenMaintain(7, 2, 2.0, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds < 5 {
+		t.Errorf("maintenance reached only round %d", rep.Rounds)
+	}
+	if rep.SteadySkew > rep.Gamma {
+		t.Errorf("steady maintenance skew %v exceeds γ %v", rep.SteadySkew, rep.Gamma)
+	}
+	if rep.MaxAdjustment > rep.AdjBound {
+		t.Errorf("steady |ADJ| %v exceeds bound %v", rep.MaxAdjustment, rep.AdjBound)
+	}
+}
+
+func TestRunEstablishThenMaintainValidation(t *testing.T) {
+	if _, err := clocksync.RunEstablishThenMaintain(3, 1, 1.0, 4, 5); err == nil {
+		t.Error("n=3,f=1 accepted")
+	}
+}
+
+func TestWithDerivedBeta(t *testing.T) {
+	c, err := clocksync.New(7, 2,
+		clocksync.WithRho(2e-4),
+		clocksync.WithRoundLength(5),
+		clocksync.WithDerivedBeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Params()
+	// Derived β for ρ=2e−4, P=5s must be ≈ 4ε+4ρP ≈ 8ms, not the 5.5ms
+	// default (which would be infeasible here).
+	if p.Beta < 8e-3 {
+		t.Errorf("derived β = %v, want ≥ 8ms", p.Beta)
+	}
+	if _, err := c.Run(6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	c, err := clocksync.New(4, 1, clocksync.WithTrace(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == "" {
+		t.Fatal("trace missing")
+	}
+	for _, want := range []string{"START", "ORDINARY", "round_begin"} {
+		if !strings.Contains(rep.Trace, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments runs the paper-reproduction experiment suite and
+// prints one table per reproduced claim (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E08   # run one experiment
+//	experiments -list      # list experiments
+//	experiments -md        # emit markdown instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "run only the experiment with this id (e.g. E03)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		markdown = flag.Bool("md", false, "render tables as markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-5s %-70s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	exps := exp.All()
+	if *runID != "" {
+		e, err := exp.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []exp.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, t := range tables {
+			if *markdown {
+				t.Markdown(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

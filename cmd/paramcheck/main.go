@@ -1,0 +1,75 @@
+// Command paramcheck validates a parameter set against every constraint of
+// §5.2 of the paper and prints all derived bounds: the feasible round-length
+// interval [PMin, PMax], the window, the adjustment bound (Thm 4a), the
+// agreement bound γ (Thm 16), the validity parameters (Thm 19), the β floor,
+// and the start-up quantities (Lemma 20).
+//
+// Example:
+//
+//	paramcheck -n 7 -f 2 -rho 1e-5 -delta 10ms -eps 1ms -beta 5.5ms -p 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 7, "number of processes")
+		f       = flag.Int("f", 2, "fault bound")
+		rho     = flag.Float64("rho", 1e-5, "drift bound ρ")
+		delta   = flag.Duration("delta", 10*time.Millisecond, "median delay δ")
+		eps     = flag.Duration("eps", time.Millisecond, "delay uncertainty ε")
+		beta    = flag.Duration("beta", 5500*time.Microsecond, "initial closeness β")
+		p       = flag.Duration("p", time.Second, "round length P")
+		suggest = flag.Bool("suggest", false, "derive a feasible β for the given ρ, δ, ε, P instead of using -beta")
+	)
+	flag.Parse()
+
+	params := analysis.Params{
+		N: *n, F: *f,
+		Rho: *rho, Delta: delta.Seconds(), Eps: eps.Seconds(),
+		Beta: beta.Seconds(), P: p.Seconds(),
+	}
+	if *suggest {
+		sp, err := analysis.Suggest(*n, *f, *rho, delta.Seconds(), eps.Seconds(), p.Seconds())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		params = sp
+		fmt.Printf("derived β = %s (minimum %s plus margin)\n\n",
+			exp.FmtDur(params.Beta), exp.FmtDur(analysis.MinBetaForP(*rho, delta.Seconds(), eps.Seconds(), p.Seconds())))
+	}
+
+	fmt.Printf("parameters: n=%d f=%d ρ=%g δ=%s ε=%s β=%s P=%s\n\n",
+		params.N, params.F, params.Rho,
+		exp.FmtDur(params.Delta), exp.FmtDur(params.Eps), exp.FmtDur(params.Beta), exp.FmtDur(params.P))
+
+	fmt.Println("derived bounds:")
+	fmt.Printf("  round-length interval   P ∈ [%s, %s]\n", exp.FmtDur(params.PMin()), exp.FmtDur(params.PMax()))
+	fmt.Printf("  collection window       (1+ρ)(β+δ+ε) = %s\n", exp.FmtDur(params.Window()))
+	fmt.Printf("  adjustment bound (T4a)  (1+ρ)(β+ε)+ρδ = %s\n", exp.FmtDur(params.AdjBound()))
+	fmt.Printf("  agreement γ (T16)       %s\n", exp.FmtDur(params.Gamma()))
+	a1, a2, a3 := params.Validity()
+	fmt.Printf("  validity (T19)          α₁=%.6f α₂=%.6f α₃=%s (λ=%s)\n", a1, a2, exp.FmtDur(a3), exp.FmtDur(params.Lambda()))
+	fmt.Printf("  steady β floor          4ε+4ρP = %s\n", exp.FmtDur(params.BetaFloor()))
+	for k := 2; k <= 4; k++ {
+		fmt.Printf("  β floor, k=%d            %s\n", k, exp.FmtDur(params.BetaFloorK(k)))
+	}
+	fmt.Printf("  startup floor (L20)     4ε+4ρ(11δ+39ε) = %s\n", exp.FmtDur(params.StartupFloor()))
+	fmt.Printf("  startup waits           W1=%s W2=%s\n", exp.FmtDur(params.StartupWait1()), exp.FmtDur(params.StartupWait2()))
+	fmt.Printf("  mean convergence rate   f/(n−2f) = %.4f (midpoint: 0.5)\n\n", params.MeanConvergenceRate())
+
+	if err := params.Validate(); err != nil {
+		fmt.Printf("INVALID:\n%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("all §5.2 constraints satisfied")
+}

@@ -1,0 +1,118 @@
+// Command wlsim runs a single clock synchronization simulation with
+// configurable parameters and prints the measured quantities next to the
+// paper's bounds.
+//
+// Example:
+//
+//	wlsim -n 7 -f 2 -rounds 20 -rho 1e-5 -delta 10ms -eps 1ms -p 1s
+//	wlsim -n 10 -f 3 -faults two-faced -adversarial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	clocksync "repro"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 7, "number of processes")
+		f        = flag.Int("f", 2, "fault tolerance bound (n ≥ 3f+1)")
+		rounds   = flag.Int("rounds", 20, "rounds to simulate")
+		rho      = flag.Float64("rho", 1e-5, "clock drift bound ρ")
+		delta    = flag.Duration("delta", 10*time.Millisecond, "median message delay δ")
+		eps      = flag.Duration("eps", time.Millisecond, "delay uncertainty ε")
+		beta     = flag.Duration("beta", 5500*time.Microsecond, "initial closeness β")
+		p        = flag.Duration("p", time.Second, "round length P")
+		k        = flag.Int("k", 1, "clock exchanges per round (§7)")
+		stagger  = flag.Duration("stagger", 0, "broadcast stagger σ (§9.3)")
+		mean     = flag.Bool("mean", false, "use mean instead of midpoint averaging")
+		seed     = flag.Int64("seed", 1, "random seed")
+		advDelay = flag.Bool("adversarial", false, "pin delays at band edges (worst case)")
+		faultStr = flag.String("faults", "", "make the top f processes faulty: silent|two-faced|noise|stale-replay|crash")
+		startup  = flag.Bool("startup", false, "run the §9.2 establishment algorithm instead")
+		trace    = flag.Int("trace", 0, "print the first N actions of the execution log")
+		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
+	)
+	flag.Parse()
+
+	if *startup {
+		rep, err := clocksync.RunStartup(*n, *f, *spread, *rounds,
+			clocksync.WithRho(*rho),
+			clocksync.WithDelay(delta.Seconds(), eps.Seconds()),
+			clocksync.WithBeta(beta.Seconds()),
+			clocksync.WithRoundLength(p.Seconds()),
+			clocksync.WithSeed(*seed),
+		)
+		exitOn(err)
+		fmt.Print(rep)
+		return
+	}
+
+	opts := []clocksync.Option{
+		clocksync.WithRho(*rho),
+		clocksync.WithDelay(delta.Seconds(), eps.Seconds()),
+		clocksync.WithBeta(beta.Seconds()),
+		clocksync.WithRoundLength(p.Seconds()),
+		clocksync.WithSeed(*seed),
+	}
+	if *k > 1 {
+		opts = append(opts, clocksync.WithKExchanges(*k))
+	}
+	if *stagger > 0 {
+		opts = append(opts, clocksync.WithStagger(stagger.Seconds()))
+	}
+	if *mean {
+		opts = append(opts, clocksync.WithAveraging(clocksync.Mean))
+	}
+	if *advDelay {
+		opts = append(opts, clocksync.WithDelayDistribution(clocksync.DelayAdversarial))
+	}
+	if *trace > 0 {
+		opts = append(opts, clocksync.WithTrace(*trace))
+	}
+	if *faultStr != "" {
+		kind, err := parseFault(*faultStr)
+		exitOn(err)
+		for i := 0; i < *f; i++ {
+			opts = append(opts, clocksync.WithFault(*n-1-i, kind))
+		}
+	}
+
+	c, err := clocksync.New(*n, *f, opts...)
+	exitOn(err)
+	rep, err := c.Run(*rounds)
+	exitOn(err)
+	fmt.Print(rep)
+	if rep.Trace != "" {
+		fmt.Println("\nexecution trace:")
+		fmt.Print(rep.Trace)
+	}
+}
+
+func parseFault(s string) (clocksync.FaultKind, error) {
+	switch s {
+	case "silent":
+		return clocksync.FaultSilent, nil
+	case "two-faced":
+		return clocksync.FaultTwoFaced, nil
+	case "noise":
+		return clocksync.FaultNoise, nil
+	case "stale-replay":
+		return clocksync.FaultStaleReplay, nil
+	case "crash":
+		return clocksync.FaultCrashMidRun, nil
+	default:
+		return 0, fmt.Errorf("unknown fault kind %q", s)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

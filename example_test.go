@@ -1,0 +1,74 @@
+package clocksync_test
+
+import (
+	"fmt"
+	"log"
+
+	clocksync "repro"
+)
+
+// Example runs the paper's maintenance algorithm on a 7-process cluster with
+// two Byzantine processes and checks the three theorems hold.
+func Example() {
+	cluster, err := clocksync.New(7, 2,
+		clocksync.WithFault(5, clocksync.FaultTwoFaced),
+		clocksync.WithFault(6, clocksync.FaultSilent),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := cluster.Run(15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("agreement (Thm 16):", report.AgreementHolds())
+	fmt.Println("adjustment (Thm 4a):", report.AdjustmentBoundHolds())
+	fmt.Println("validity (Thm 19):", report.ValidityHolds())
+	// Output:
+	// agreement (Thm 16): true
+	// adjustment (Thm 4a): true
+	// validity (Thm 19): true
+}
+
+// ExampleRunStartup establishes synchronization from clocks that start three
+// seconds apart (§9.2) and verifies the Lemma 20 convergence.
+func ExampleRunStartup() {
+	report, err := clocksync.RunStartup(7, 2, 3.0, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged to ≈4ε:", report.Converged(2.0))
+	fmt.Println("rounds observed ≥ 15:", len(report.BSeries) >= 15)
+	// Output:
+	// converged to ≈4ε: true
+	// rounds observed ≥ 15: true
+}
+
+// ExampleRunEstablishThenMaintain runs the full lifecycle the paper sketches
+// at the end of §9.2: establish, switch, maintain.
+func ExampleRunEstablishThenMaintain() {
+	report, err := clocksync.RunEstablishThenMaintain(7, 2, 2.0, 6, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maintained within γ:", report.SteadySkew <= report.Gamma)
+	// Output:
+	// maintained within γ: true
+}
+
+// ExampleNew_derivedParameters lets the library derive a feasible β from the
+// §5.2 constraints for a nonstandard drift and round length.
+func ExampleNew_derivedParameters() {
+	cluster, err := clocksync.New(7, 2,
+		clocksync.WithRho(2e-4),
+		clocksync.WithRoundLength(5),
+		clocksync.WithDerivedBeta(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := cluster.Params()
+	fmt.Println("β exceeds the 4ε+4ρP floor:", p.Beta > 4*p.Eps+4*p.Rho*p.P)
+	// Output:
+	// β exceeds the 4ε+4ρP floor: true
+}

@@ -1,0 +1,134 @@
+package agreement
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Async implements the *asynchronous* approximate agreement algorithm of
+// [DLPSW2] on the message-passing engine: no clocks and no synchronized
+// rounds — a process advances its round whenever it has collected n−f values
+// of the current round, and applies mid(reduce_2f(·)) to them.
+//
+// Asynchrony is paid for twice: the resilience bound tightens to n ≥ 5f+1,
+// and the trimming doubles to 2f (different processes may collect different
+// (n−f)-subsets, so up to f faulty values *and* f extreme nonfaulty values
+// must be discardable). The diameter of nonfaulty values still at least
+// halves per round.
+//
+// This is the second half of the paper's lineage ([DLPSW] covers both
+// models) and demonstrates that the §2 engine also hosts protocols that
+// never read a clock.
+type AsyncConfig struct {
+	N, F int
+	// Rounds is how many asynchronous rounds each process executes before
+	// halting (processes cannot detect convergence without knowing the
+	// target precision).
+	Rounds int
+}
+
+// Validate checks the asynchronous resilience bound.
+func (c AsyncConfig) Validate() error {
+	if c.N < 5*c.F+1 {
+		return fmt.Errorf("agreement: async needs n ≥ 5f+1, got n=%d f=%d", c.N, c.F)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("agreement: async needs positive rounds, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// ValMsg carries a process's round-r value.
+type ValMsg struct {
+	Round int
+	V     float64
+}
+
+// AsyncProc is one asynchronous approximate-agreement process.
+type AsyncProc struct {
+	cfg   AsyncConfig
+	value float64
+	round int
+	// got[r] collects the first value received from each process for
+	// round r (later duplicates are ignored, as the algorithm requires).
+	got  map[int]map[sim.ProcID]float64
+	done bool
+}
+
+var _ sim.Process = (*AsyncProc)(nil)
+
+// NewAsyncProc builds a process with its initial value.
+func NewAsyncProc(cfg AsyncConfig, initial float64) *AsyncProc {
+	return &AsyncProc{
+		cfg:   cfg,
+		value: initial,
+		got:   make(map[int]map[sim.ProcID]float64),
+	}
+}
+
+// Value returns the process's current value.
+func (p *AsyncProc) Value() float64 { return p.value }
+
+// Round returns the process's current round.
+func (p *AsyncProc) Round() int { return p.round }
+
+// Done reports whether the process has executed all its rounds.
+func (p *AsyncProc) Done() bool { return p.done }
+
+// Receive implements sim.Process.
+func (p *AsyncProc) Receive(ctx *sim.Context, m sim.Message) {
+	switch m.Kind {
+	case sim.KindStart:
+		ctx.Broadcast(ValMsg{Round: 0, V: p.value})
+	case sim.KindOrdinary:
+		vm, ok := m.Payload.(ValMsg)
+		if !ok || p.done {
+			return
+		}
+		// Discard stale rounds and non-finite (necessarily Byzantine)
+		// values: NaN would poison the multiset ordering.
+		if vm.Round < p.round || math.IsNaN(vm.V) || math.IsInf(vm.V, 0) {
+			return
+		}
+		set := p.got[vm.Round]
+		if set == nil {
+			set = make(map[sim.ProcID]float64)
+			p.got[vm.Round] = set
+		}
+		if _, dup := set[m.From]; !dup {
+			set[m.From] = vm.V
+		}
+		p.advance(ctx)
+	}
+}
+
+// advance executes as many round transitions as the collected values allow.
+func (p *AsyncProc) advance(ctx *sim.Context) {
+	for !p.done {
+		set := p.got[p.round]
+		if len(set) < p.cfg.N-p.cfg.F {
+			return
+		}
+		vals := make([]float64, 0, len(set))
+		for _, v := range set {
+			vals = append(vals, v)
+		}
+		av, err := multiset.FaultTolerantMidpoint(multiset.New(vals...), 2*p.cfg.F)
+		if err != nil || math.IsNaN(av) || math.IsInf(av, 0) {
+			// n−f ≥ 4f+1 > 4f values are always enough to reduce by 2f;
+			// non-finite values can only come from a Byzantine sender.
+			return
+		}
+		p.value = av
+		delete(p.got, p.round)
+		p.round++
+		if p.round >= p.cfg.Rounds {
+			p.done = true
+			return
+		}
+		ctx.Broadcast(ValMsg{Round: p.round, V: p.value})
+	}
+}

@@ -1,0 +1,161 @@
+package agreement_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// asyncByzantine sends a different random value to every recipient in every
+// round, as fast as it can.
+type asyncByzantine struct {
+	rounds int
+}
+
+func (b *asyncByzantine) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind != sim.KindStart && m.Kind != sim.KindTimer {
+		return
+	}
+	rng := ctx.Rand()
+	for q := 0; q < ctx.N(); q++ {
+		for r := 0; r < b.rounds; r++ {
+			v := rng.NormFloat64() * 1e6
+			if rng.Intn(4) == 0 {
+				v = math.Inf(1) // also try to poison with non-finite values
+			}
+			ctx.Send(sim.ProcID(q), agreement.ValMsg{Round: r, V: v})
+		}
+	}
+}
+
+// runAsync executes the asynchronous protocol with nByz Byzantine processes
+// occupying the top ids.
+func runAsync(t *testing.T, cfg agreement.AsyncConfig, initial []float64, nByz int, seed int64) []*agreement.AsyncProc {
+	t.Helper()
+	n := cfg.N
+	procs := make([]sim.Process, n)
+	good := make([]*agreement.AsyncProc, 0, n-nByz)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	for i := 0; i < n; i++ {
+		clocks[i] = clock.Linear(0, 1)
+		starts[i] = clock.Real(i) * 1e-3
+		if i >= n-nByz {
+			procs[i] = &asyncByzantine{rounds: cfg.Rounds}
+			continue
+		}
+		p := agreement.NewAsyncProc(cfg, initial[i])
+		procs[i] = p
+		good = append(good, p)
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: 10e-3, Eps: 8e-3}, // heavy jitter: async-ish
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(1e3); err != nil {
+		t.Fatal(err)
+	}
+	return good
+}
+
+func TestAsyncConfigValidate(t *testing.T) {
+	if err := (agreement.AsyncConfig{N: 6, F: 1, Rounds: 5}).Validate(); err != nil {
+		t.Errorf("6,1 should validate: %v", err)
+	}
+	if err := (agreement.AsyncConfig{N: 5, F: 1, Rounds: 5}).Validate(); err == nil {
+		t.Error("5,1 violates n ≥ 5f+1")
+	}
+	if err := (agreement.AsyncConfig{N: 6, F: 1, Rounds: 0}).Validate(); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestAsyncFaultFreeConvergence(t *testing.T) {
+	cfg := agreement.AsyncConfig{N: 6, F: 1, Rounds: 20}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	initial := []float64{0, 10, 25, 40, 80, 100}
+	good := runAsync(t, cfg, initial, 0, 1)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range good {
+		if !p.Done() {
+			t.Fatalf("process stalled at round %d", p.Round())
+		}
+		lo = math.Min(lo, p.Value())
+		hi = math.Max(hi, p.Value())
+	}
+	if hi-lo > 100/math.Pow(2, 10) {
+		t.Errorf("diameter %v after 20 rounds, want ≤ %v (halving)", hi-lo, 100/math.Pow(2, 10))
+	}
+	if lo < 0 || hi > 100 {
+		t.Errorf("validity violated: [%v, %v] outside [0, 100]", lo, hi)
+	}
+}
+
+func TestAsyncWithByzantine(t *testing.T) {
+	cfg := agreement.AsyncConfig{N: 6, F: 1, Rounds: 25}
+	initial := []float64{3, 7, 12, 20, 31} // the 6th process is Byzantine
+	good := runAsync(t, cfg, initial, 1, 2)
+	if len(good) != 5 {
+		t.Fatalf("expected 5 nonfaulty, got %d", len(good))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range good {
+		if !p.Done() {
+			t.Fatalf("nonfaulty process stalled at round %d", p.Round())
+		}
+		lo = math.Min(lo, p.Value())
+		hi = math.Max(hi, p.Value())
+	}
+	// Validity: within the initial nonfaulty range despite the flood of
+	// Byzantine values (including +Inf).
+	if lo < 3-1e-9 || hi > 31+1e-9 {
+		t.Errorf("validity violated: [%v, %v] outside [3, 31]", lo, hi)
+	}
+	if hi-lo > 1e-3 {
+		t.Errorf("diameter %v after 25 rounds with a Byzantine, want tiny", hi-lo)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	cfg := agreement.AsyncConfig{N: 6, F: 1, Rounds: 8}
+	initial := []float64{1, 2, 3, 4, 5, 6}
+	a := runAsync(t, cfg, initial, 0, 9)
+	b := runAsync(t, cfg, initial, 0, 9)
+	for i := range a {
+		if a[i].Value() != b[i].Value() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAsyncRandomizedValidityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		cfg := agreement.AsyncConfig{N: 6, F: 1, Rounds: 12}
+		initial := make([]float64, 5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range initial {
+			initial[i] = rng.NormFloat64() * 50
+			lo = math.Min(lo, initial[i])
+			hi = math.Max(hi, initial[i])
+		}
+		good := runAsync(t, cfg, initial, 1, int64(trial+100))
+		for _, p := range good {
+			if p.Value() < lo-1e-9 || p.Value() > hi+1e-9 {
+				t.Fatalf("trial %d: value %v outside [%v, %v]", trial, p.Value(), lo, hi)
+			}
+		}
+	}
+}

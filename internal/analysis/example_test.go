@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+)
+
+// ExampleSuggest derives a complete, §5.2-valid parameter set for a given
+// network environment and round length.
+func ExampleSuggest() {
+	params, err := analysis.Suggest(7, 2,
+		1e-5,  // drift ρ
+		10e-3, // median delay δ
+		1e-3,  // uncertainty ε
+		1.0,   // round length P
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("valid:", params.Validate() == nil)
+	fmt.Printf("agreement γ within [β+ε, 2(β+ε)]: %v\n",
+		params.Gamma() >= params.Beta+params.Eps && params.Gamma() <= 2*(params.Beta+params.Eps))
+	// Output:
+	// valid: true
+	// agreement γ within [β+ε, 2(β+ε)]: true
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinBetaForPMatchesApproximation(t *testing.T) {
+	// For small ρ the closed form should be close to 4ε + 4ρP.
+	rho, delta, eps, p := 1e-5, 10e-3, 1e-3, 1.0
+	got := MinBetaForP(rho, delta, eps, p)
+	approx := 4*eps + 4*rho*p
+	if math.Abs(got-approx) > approx*0.05 {
+		t.Errorf("MinBetaForP = %v, approximation 4ε+4ρP = %v", got, approx)
+	}
+}
+
+func TestMinBetaForPEdgeCases(t *testing.T) {
+	if got := MinBetaForP(0, 10e-3, 1e-3, 1); got != 0 {
+		t.Errorf("ρ=0 should return 0, got %v", got)
+	}
+	if !math.IsInf(MinBetaForP(10, 10e-3, 1e-3, 1), 1) {
+		t.Error("absurd ρ should return +Inf")
+	}
+}
+
+func TestMinBetaForPSatisfiesPMax(t *testing.T) {
+	// Property: with β = MinBetaForP(...)·(1+margin), PMax(β) ≥ P.
+	f := func(seedRho, seedP uint8) bool {
+		rho := 1e-6 * math.Pow(10, float64(seedRho%4)) // 1e-6..1e-3
+		p := 0.1 * math.Pow(4, float64(seedP%5))       // 0.1..25.6s
+		delta, eps := 10e-3, 1e-3
+		beta := MinBetaForP(rho, delta, eps, p) * 1.0001
+		params := Params{N: 4, F: 1, Rho: rho, Delta: delta, Eps: eps, Beta: beta, P: p}
+		return params.PMax() >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	params, err := Suggest(7, 2, 1e-5, 10e-3, 1e-3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := params.Validate(); err != nil {
+		t.Errorf("suggested params invalid: %v", err)
+	}
+	if params.Beta <= 4*params.Eps {
+		t.Errorf("suggested β = %v should exceed 4ε", params.Beta)
+	}
+}
+
+func TestSuggestAcrossRegimes(t *testing.T) {
+	tests := []struct {
+		name            string
+		rho, delta, eps float64
+		p               float64
+		wantErr         bool
+	}{
+		{"default", 1e-5, 10e-3, 1e-3, 1.0, false},
+		{"fast lan", 1e-6, 1e-3, 0.1e-3, 0.25, false},
+		{"wan", 1e-5, 100e-3, 20e-3, 5.0, false},
+		// High drift with a long round is feasible but needs a large β
+		// (≈4ρP = 240ms): the solver should find it, not reject it.
+		{"high drift long round", 1e-3, 10e-3, 1e-3, 60.0, false},
+		{"no drift", 0, 10e-3, 1e-3, 3.0, false},
+		{"absurd drift", 10, 10e-3, 1e-3, 1.0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			params, err := Suggest(7, 2, tt.rho, tt.delta, tt.eps, tt.p)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Suggest err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil {
+				if verr := params.Validate(); verr != nil {
+					t.Errorf("suggested params invalid: %v", verr)
+				}
+			}
+		})
+	}
+}
+
+func TestFeasiblePRange(t *testing.T) {
+	p := Default(7, 2)
+	lo, hi := p.FeasiblePRange()
+	if lo >= hi {
+		t.Errorf("empty feasible range [%v, %v]", lo, hi)
+	}
+	if p.P < lo || p.P > hi {
+		t.Errorf("default P %v outside its own feasible range [%v, %v]", p.P, lo, hi)
+	}
+}

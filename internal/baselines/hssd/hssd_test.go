@@ -1,0 +1,46 @@
+package hssd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestValidChain(t *testing.T) {
+	tests := []struct {
+		name  string
+		chain []sim.ProcID
+		want  bool
+	}{
+		{"empty", nil, false},
+		{"single", []sim.ProcID{3}, true},
+		{"distinct", []sim.ProcID{3, 1, 4}, true},
+		{"duplicate", []sim.ProcID{3, 1, 3}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := validChain(tt.chain); got != tt.want {
+				t.Errorf("validChain(%v) = %v, want %v", tt.chain, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMarkArithmetic(t *testing.T) {
+	p := New(Config{}, 0)
+	p.cfg.T0 = 100
+	p.cfg.P = 10
+	if got := p.mark(3); got != 130 {
+		t.Errorf("mark(3) = %v, want 130", got)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New(Config{}, 5)
+	if p.Corr() != 5 {
+		t.Errorf("Corr = %v, want 5", p.Corr())
+	}
+	if p.Round() != 1 {
+		t.Errorf("Round = %d, want 1 (first resync round)", p.Round())
+	}
+}

@@ -1,0 +1,135 @@
+// Package lm implements the interactive convergence algorithm (CNV) of
+// Lamport and Melliar-Smith [LM], the algorithm the paper builds on (§1) and
+// compares against (§10).
+//
+// Like the paper's algorithm it runs in rounds on a fully connected network:
+// at each round every process obtains a value for each other process's clock
+// and sets its clock to the *egocentric average* — the arithmetic mean over
+// all n processes of the estimated clock differences, where any difference
+// larger than a threshold Δ is replaced by 0 (i.e. by the process's own
+// clock value). §10: the closeness of synchronization achieved is about
+// 2nε', and the adjustment size about (2n+1)ε'.
+package lm
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config parameterizes CNV.
+type Config struct {
+	analysis.Params
+	// Threshold is Δ: estimated differences exceeding it are replaced by 0
+	// (the process's own value). It must exceed the achievable skew or
+	// nonfaulty values get discarded; [LM] relates it to the guaranteed
+	// synchronization. Zero defaults to 3·(β+ε)+ρP.
+	Threshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 3*(c.Beta+c.Eps) + c.Rho*c.P
+	}
+	return c
+}
+
+// ClockMsg carries the sender's round mark (its clock reading at the moment
+// of broadcast, which is Tⁱ by construction).
+type ClockMsg struct {
+	Mark clock.Local
+}
+
+// Proc is one CNV process.
+type Proc struct {
+	cfg  Config
+	corr clock.Local
+	diff []float64 // estimated difference q's clock − own clock
+	have []bool
+	t    clock.Local
+	rnd  int
+	flag phase
+}
+
+type phase uint8
+
+const (
+	phaseBroadcast phase = iota + 1
+	phaseUpdate
+)
+
+var (
+	_ sim.Process    = (*Proc)(nil)
+	_ sim.CorrHolder = (*Proc)(nil)
+)
+
+// New builds a CNV process with the given initial correction.
+func New(cfg Config, initialCorr clock.Local) *Proc {
+	cfg = cfg.withDefaults()
+	return &Proc{
+		cfg:  cfg,
+		corr: initialCorr,
+		diff: make([]float64, cfg.N),
+		have: make([]bool, cfg.N),
+		t:    clock.Local(cfg.T0),
+		flag: phaseBroadcast,
+	}
+}
+
+// Corr implements sim.CorrHolder.
+func (p *Proc) Corr() clock.Local { return p.corr }
+
+// Round returns the current round index.
+func (p *Proc) Round() int { return p.rnd }
+
+func (p *Proc) local(ctx *sim.Context) clock.Local { return ctx.PhysNow() + p.corr }
+
+// Receive implements sim.Process.
+func (p *Proc) Receive(ctx *sim.Context, m sim.Message) {
+	switch {
+	case m.Kind == sim.KindOrdinary:
+		if cm, ok := m.Payload.(ClockMsg); ok {
+			// Estimate of q's clock minus ours, assuming the message took
+			// exactly δ: (mark + δ) − local.
+			p.diff[m.From] = float64(cm.Mark) + p.cfg.Delta - float64(p.local(ctx))
+			p.have[m.From] = true
+		}
+
+	case (m.Kind == sim.KindStart || m.Kind == sim.KindTimer) && p.flag == phaseBroadcast:
+		ctx.Annotate(metrics.TagRoundBegin, float64(p.rnd))
+		ctx.Broadcast(ClockMsg{Mark: p.t})
+		ctx.SetTimer(p.t+clock.Local(p.cfg.Window())-p.corr, nil)
+		p.flag = phaseUpdate
+
+	case m.Kind == sim.KindTimer && p.flag == phaseUpdate:
+		p.update(ctx)
+	}
+}
+
+// update applies the egocentric average.
+func (p *Proc) update(ctx *sim.Context) {
+	sum := 0.0
+	for q := 0; q < p.cfg.N; q++ {
+		if !p.have[q] {
+			continue // never heard: counts as own value (difference 0)
+		}
+		d := p.diff[q]
+		if d > p.cfg.Threshold || d < -p.cfg.Threshold {
+			continue // too different: replaced by own value (0)
+		}
+		sum += d
+	}
+	adj := sum / float64(p.cfg.N)
+	p.corr += clock.Local(adj)
+	ctx.Annotate(metrics.TagAdjust, adj)
+	ctx.Annotate(metrics.TagRoundComplete, float64(p.rnd))
+
+	p.rnd++
+	p.t += clock.Local(p.cfg.P)
+	for i := range p.have {
+		p.have[i] = false
+	}
+	ctx.SetTimer(p.t-p.corr, nil)
+	p.flag = phaseBroadcast
+}

@@ -1,0 +1,34 @@
+package lm
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Params: analysis.Default(7, 2)}
+	got := cfg.withDefaults()
+	want := 3*(cfg.Beta+cfg.Eps) + cfg.Rho*cfg.P
+	if got.Threshold != want {
+		t.Errorf("defaulted Δ = %v, want %v", got.Threshold, want)
+	}
+	cfg.Threshold = 42
+	if cfg.withDefaults().Threshold != 42 {
+		t.Error("explicit Δ overridden")
+	}
+}
+
+func TestNewInitialState(t *testing.T) {
+	cfg := Config{Params: analysis.Default(4, 1)}
+	p := New(cfg, 7)
+	if p.Corr() != 7 {
+		t.Errorf("Corr = %v, want 7", p.Corr())
+	}
+	if p.Round() != 0 {
+		t.Errorf("Round = %d, want 0", p.Round())
+	}
+	if len(p.diff) != 4 || len(p.have) != 4 {
+		t.Error("per-process state sized wrong")
+	}
+}

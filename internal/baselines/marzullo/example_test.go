@@ -1,0 +1,27 @@
+package marzullo_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines/marzullo"
+)
+
+// ExampleIntersect runs Marzullo's algorithm on four time sources, one of
+// which (the last) is wrong: the smallest interval containing every point
+// covered by at least three of the four sources still brackets the truth.
+func ExampleIntersect() {
+	sources := []marzullo.Interval{
+		{Lo: 8, Hi: 12},
+		{Lo: 11, Hi: 13},
+		{Lo: 10, Hi: 12},
+		{Lo: 11.5, Hi: 11.6}, // liar claiming impossible precision
+	}
+	result, err := marzullo.Intersect(sources, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%v, %v], best estimate %v\n", result.Lo, result.Hi, result.Mid())
+	// Output:
+	// [11, 12], best estimate 11.5
+}

@@ -1,0 +1,187 @@
+package marzullo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 6}
+	if !iv.Valid() || iv.Mid() != 4 || iv.HalfWidth() != 2 {
+		t.Errorf("helpers wrong for %+v", iv)
+	}
+	if (Interval{Lo: 3, Hi: 1}).Valid() {
+		t.Error("inverted interval should be invalid")
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	tests := []struct {
+		name    string
+		ivs     []Interval
+		k       int
+		want    Interval
+		wantErr bool
+	}{
+		{
+			name: "classic three of four",
+			ivs:  []Interval{{8, 12}, {11, 13}, {10, 12}, {11.5, 11.6}},
+			k:    3,
+			want: Interval{11, 12},
+		},
+		{
+			name: "all overlap",
+			ivs:  []Interval{{0, 10}, {2, 8}, {4, 6}},
+			k:    3,
+			want: Interval{4, 6},
+		},
+		{
+			name:    "disjoint with full quorum",
+			ivs:     []Interval{{0, 1}, {2, 3}, {4, 5}},
+			k:       3,
+			wantErr: true,
+		},
+		{
+			name: "disjoint with quorum one",
+			ivs:  []Interval{{0, 1}, {2, 3}},
+			k:    1,
+			want: Interval{0, 3}, // hull of all ≥1-covered points
+		},
+		{
+			name: "touching endpoints count",
+			ivs:  []Interval{{0, 5}, {5, 10}},
+			k:    2,
+			want: Interval{5, 5},
+		},
+		{
+			name:    "k too large",
+			ivs:     []Interval{{0, 1}},
+			k:       2,
+			wantErr: true,
+		},
+		{
+			name:    "empty input",
+			ivs:     nil,
+			k:       1,
+			wantErr: true,
+		},
+		{
+			name:    "nonpositive k",
+			ivs:     []Interval{{0, 1}},
+			k:       0,
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Intersect(tt.ivs, tt.k)
+			if tt.wantErr {
+				if !errors.Is(err, ErrTooFewIntervals) {
+					t.Fatalf("want ErrTooFewIntervals, got %v (%+v)", err, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Intersect = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+// coverage counts intervals containing x.
+func coverage(ivs []Interval, x float64) int {
+	c := 0
+	for _, iv := range ivs {
+		if iv.Lo <= x && x <= iv.Hi {
+			c++
+		}
+	}
+	return c
+}
+
+// TestIntersectProperty: the returned interval's endpoints are covered by ≥k
+// intervals, and no point outside it is.
+func TestIntersectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Float64() * 10
+			ivs[i] = Interval{Lo: lo, Hi: lo + rng.Float64()*5}
+		}
+		k := 1 + rng.Intn(n)
+		res, err := Intersect(ivs, k)
+		// Collect candidate points: all endpoints.
+		var maxCov int
+		for _, iv := range ivs {
+			for _, x := range []float64{iv.Lo, iv.Hi} {
+				if c := coverage(ivs, x); c > maxCov {
+					maxCov = c
+				}
+			}
+		}
+		if maxCov < k {
+			return errors.Is(err, ErrTooFewIntervals)
+		}
+		if err != nil {
+			return false
+		}
+		if coverage(ivs, res.Lo) < k || coverage(ivs, res.Hi) < k {
+			return false
+		}
+		// Just outside must have coverage < k (res is the hull).
+		if coverage(ivs, res.Lo-1e-9) >= k || coverage(ivs, res.Hi+1e-9) >= k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectTruthContainment: if ≥ k intervals contain a truth point, the
+// result contains it too — the correctness property Marzullo's service
+// relies on.
+func TestIntersectTruthContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := rng.Float64() * 10
+		n := 4 + rng.Intn(6)
+		fBad := rng.Intn(n / 4)
+		ivs := make([]Interval, 0, n)
+		for i := 0; i < n-fBad; i++ {
+			w := rng.Float64() * 3
+			off := (rng.Float64()*2 - 1) * w
+			ivs = append(ivs, Interval{Lo: truth + off - w, Hi: truth + off + w})
+		}
+		for i := 0; i < fBad; i++ {
+			lo := rng.Float64() * 100
+			ivs = append(ivs, Interval{Lo: lo, Hi: lo + rng.Float64()})
+		}
+		res, err := Intersect(ivs, n-fBad)
+		if err != nil {
+			return false
+		}
+		return res.Lo <= truth && truth <= res.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectIgnoresInvalid(t *testing.T) {
+	res, err := Intersect([]Interval{{0, 4}, {2, 6}, {5, 3}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != (Interval{2, 4}) {
+		t.Errorf("got %+v, want [2,4]", res)
+	}
+}

@@ -1,0 +1,141 @@
+// Package ms implements the fault-tolerant averaging of Mahaney and
+// Schneider's inexact agreement [MS] as a clock synchronization round
+// discipline (§10 of the paper).
+//
+// At each round clock values are exchanged exactly as in [LM]; then every
+// value that is not within tolerance τ of at least n−f of the received
+// values is discarded as "clearly faulty", and the remaining values are
+// averaged with the arithmetic mean. §10 highlights its pleasing, novel
+// property: it degrades gracefully if more than one-third of the processes
+// fail — which experiment E12 reproduces against the paper's algorithm.
+package ms
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the MS discipline.
+type Config struct {
+	analysis.Params
+	// Tolerance is τ: a value survives only if within τ of ≥ n−f received
+	// values (itself included). Zero defaults to 2(β+ε)+ρP.
+	Tolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tolerance == 0 {
+		c.Tolerance = 2*(c.Beta+c.Eps) + c.Rho*c.P
+	}
+	return c
+}
+
+// ClockMsg carries the sender's round mark.
+type ClockMsg struct {
+	Mark clock.Local
+}
+
+// Proc is one MS process.
+type Proc struct {
+	cfg  Config
+	corr clock.Local
+	diff []float64
+	have []bool
+	t    clock.Local
+	rnd  int
+	flag phase
+}
+
+type phase uint8
+
+const (
+	phaseBroadcast phase = iota + 1
+	phaseUpdate
+)
+
+var (
+	_ sim.Process    = (*Proc)(nil)
+	_ sim.CorrHolder = (*Proc)(nil)
+)
+
+// New builds an MS process.
+func New(cfg Config, initialCorr clock.Local) *Proc {
+	cfg = cfg.withDefaults()
+	return &Proc{
+		cfg:  cfg,
+		corr: initialCorr,
+		diff: make([]float64, cfg.N),
+		have: make([]bool, cfg.N),
+		t:    clock.Local(cfg.T0),
+		flag: phaseBroadcast,
+	}
+}
+
+// Corr implements sim.CorrHolder.
+func (p *Proc) Corr() clock.Local { return p.corr }
+
+// Round returns the current round index.
+func (p *Proc) Round() int { return p.rnd }
+
+func (p *Proc) local(ctx *sim.Context) clock.Local { return ctx.PhysNow() + p.corr }
+
+// Receive implements sim.Process.
+func (p *Proc) Receive(ctx *sim.Context, m sim.Message) {
+	switch {
+	case m.Kind == sim.KindOrdinary:
+		if cm, ok := m.Payload.(ClockMsg); ok {
+			p.diff[m.From] = float64(cm.Mark) + p.cfg.Delta - float64(p.local(ctx))
+			p.have[m.From] = true
+		}
+
+	case (m.Kind == sim.KindStart || m.Kind == sim.KindTimer) && p.flag == phaseBroadcast:
+		ctx.Annotate(metrics.TagRoundBegin, float64(p.rnd))
+		ctx.Broadcast(ClockMsg{Mark: p.t})
+		ctx.SetTimer(p.t+clock.Local(p.cfg.Window())-p.corr, nil)
+		p.flag = phaseUpdate
+
+	case m.Kind == sim.KindTimer && p.flag == phaseUpdate:
+		p.update(ctx)
+	}
+}
+
+// update discards values lacking n−f τ-support and averages the rest.
+func (p *Proc) update(ctx *sim.Context) {
+	received := make([]float64, 0, p.cfg.N)
+	for q := 0; q < p.cfg.N; q++ {
+		if p.have[q] {
+			received = append(received, p.diff[q])
+		}
+	}
+	need := p.cfg.N - p.cfg.F
+	sum, kept := 0.0, 0
+	for _, v := range received {
+		support := 0
+		for _, w := range received {
+			if v-w <= p.cfg.Tolerance && w-v <= p.cfg.Tolerance {
+				support++
+			}
+		}
+		if support >= need {
+			sum += v
+			kept++
+		}
+	}
+	adj := 0.0
+	if kept > 0 {
+		adj = sum / float64(kept)
+	}
+	p.corr += clock.Local(adj)
+	ctx.Annotate(metrics.TagAdjust, adj)
+	ctx.Annotate(metrics.TagRoundComplete, float64(p.rnd))
+
+	p.rnd++
+	p.t += clock.Local(p.cfg.P)
+	for i := range p.have {
+		p.have[i] = false
+	}
+	ctx.SetTimer(p.t-p.corr, nil)
+	p.flag = phaseBroadcast
+}

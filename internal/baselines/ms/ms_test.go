@@ -1,0 +1,27 @@
+package ms
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Params: analysis.Default(7, 2)}
+	got := cfg.withDefaults()
+	want := 2*(cfg.Beta+cfg.Eps) + cfg.Rho*cfg.P
+	if got.Tolerance != want {
+		t.Errorf("defaulted τ = %v, want %v", got.Tolerance, want)
+	}
+	cfg.Tolerance = 1
+	if cfg.withDefaults().Tolerance != 1 {
+		t.Error("explicit τ overridden")
+	}
+}
+
+func TestNewInitialState(t *testing.T) {
+	p := New(Config{Params: analysis.Default(4, 1)}, -3)
+	if p.Corr() != -3 || p.Round() != 0 {
+		t.Errorf("initial state wrong: corr=%v round=%d", p.Corr(), p.Round())
+	}
+}

@@ -1,0 +1,27 @@
+package st
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestNewInitialState(t *testing.T) {
+	p := New(Config{Params: analysis.Default(4, 1)}, 2)
+	if p.Corr() != 2 {
+		t.Errorf("Corr = %v, want 2", p.Corr())
+	}
+	if p.Round() != 1 {
+		t.Errorf("Round = %d, want 1 (first resync round)", p.Round())
+	}
+}
+
+func TestMarkArithmetic(t *testing.T) {
+	cfg := Config{Params: analysis.Default(4, 1)}
+	cfg.T0 = 50
+	cfg.P = 2
+	p := New(cfg, 0)
+	if got := p.mark(4); got != 58 {
+		t.Errorf("mark(4) = %v, want 58", got)
+	}
+}

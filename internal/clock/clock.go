@@ -1,0 +1,176 @@
+// Package clock implements the paper's clock model (§2.1, §3.1): a clock is a
+// monotonically increasing, (piecewise-)differentiable function from real
+// times to clock times, and a physical clock is ρ-bounded when its rate stays
+// within [1/(1+ρ), 1+ρ].
+//
+// Following the paper's notational convention, lower-case letters are real
+// times and upper-case letters are clock times; here the two are the defined
+// types Real and Local. All times are in seconds.
+//
+// Clocks are represented piecewise-linearly, which keeps them exactly
+// invertible: the simulation engine relies on Inv to schedule TIMER delivery
+// at the exact real instant Ph⁻¹(T) the model prescribes.
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Real is a point on the real-time axis ("t" in the paper), in seconds.
+type Real float64
+
+// Local is a point on a clock-time axis ("T" in the paper), in seconds. Both
+// physical clock readings and logical (corrected) times are Local values.
+type Local float64
+
+// Duration helpers keep call sites readable without importing time.
+const (
+	Millisecond = 1e-3
+	Microsecond = 1e-6
+)
+
+// Clock is a monotonically increasing mapping from real time to clock time.
+// Implementations must be strictly increasing so that Inv is well defined.
+type Clock interface {
+	// At returns the clock reading at real time t (the paper's C(t)).
+	At(t Real) Local
+	// Inv returns the real time at which the clock reads T (the paper's
+	// c(T), the inverse function).
+	Inv(T Local) Real
+	// Rate returns dC/dt at real time t. At a breakpoint the rate of the
+	// segment beginning at t is returned.
+	Rate(t Real) float64
+}
+
+// segment is one linear piece of a piecewise-linear clock: for t >= start
+// (until the next segment) the clock reads value + rate*(t-start).
+type segment struct {
+	start Real
+	value Local
+	rate  float64
+}
+
+// PiecewiseLinear is a strictly increasing piecewise-linear clock. The zero
+// value is not usable; construct with New, Linear, or a drift schedule.
+type PiecewiseLinear struct {
+	segs []segment
+}
+
+var _ Clock = (*PiecewiseLinear)(nil)
+
+// Linear returns the clock C(t) = offset + rate*t.
+func Linear(offset Local, rate float64) *PiecewiseLinear {
+	return &PiecewiseLinear{segs: []segment{{start: 0, value: offset, rate: rate}}}
+}
+
+// Breakpoint describes the clock rate taking effect at a real time. Used to
+// build piecewise clocks via New.
+type Breakpoint struct {
+	Start Real    // real time the rate takes effect
+	Rate  float64 // dC/dt from Start until the next breakpoint
+}
+
+// New builds a piecewise-linear clock that reads valueAtFirst at the first
+// breakpoint's start time and then follows the given rates. Breakpoints must
+// be strictly increasing in Start and all rates must be positive. The clock
+// is extended to all of ℝ using the first and last rates.
+func New(valueAtFirst Local, bps []Breakpoint) (*PiecewiseLinear, error) {
+	if len(bps) == 0 {
+		return nil, errors.New("clock: need at least one breakpoint")
+	}
+	segs := make([]segment, 0, len(bps))
+	v := valueAtFirst
+	for i, bp := range bps {
+		if bp.Rate <= 0 {
+			return nil, fmt.Errorf("clock: rate %v at breakpoint %d is not positive", bp.Rate, i)
+		}
+		if i > 0 {
+			prev := segs[i-1]
+			if bp.Start <= prev.start {
+				return nil, fmt.Errorf("clock: breakpoint %d start %v not after previous %v", i, bp.Start, prev.start)
+			}
+			v = prev.value + Local(prev.rate*float64(bp.Start-prev.start))
+		}
+		segs = append(segs, segment{start: bp.Start, value: v, rate: bp.Rate})
+	}
+	return &PiecewiseLinear{segs: segs}, nil
+}
+
+// At implements Clock.
+func (c *PiecewiseLinear) At(t Real) Local {
+	s := c.segAt(t)
+	return s.value + Local(s.rate*float64(t-s.start))
+}
+
+// Inv implements Clock.
+func (c *PiecewiseLinear) Inv(T Local) Real {
+	// Find the last segment whose starting value is <= T. Values are
+	// increasing across segments because rates are positive.
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].value > T }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := c.segs[i]
+	return s.start + Real(float64(T-s.value)/s.rate)
+}
+
+// Rate implements Clock.
+func (c *PiecewiseLinear) Rate(t Real) float64 {
+	return c.segAt(t).rate
+}
+
+func (c *PiecewiseLinear) segAt(t Real) segment {
+	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].start > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.segs[i]
+}
+
+// RhoBounded reports whether every segment rate of the clock lies within the
+// paper's ρ-band [1/(1+ρ), 1+ρ].
+func (c *PiecewiseLinear) RhoBounded(rho float64) bool {
+	lo, hi := 1/(1+rho), 1+rho
+	for _, s := range c.segs {
+		if s.rate < lo-1e-15 || s.rate > hi+1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+// Segments returns the number of linear pieces (useful in tests).
+func (c *PiecewiseLinear) Segments() int { return len(c.segs) }
+
+// Offset is a convenience clock built on an underlying clock shifted by a
+// constant: the paper's logical clock Ph + CORR for a fixed CORR.
+type Offset struct {
+	Base Clock
+	Corr Local
+}
+
+var _ Clock = Offset{}
+
+// At implements Clock.
+func (o Offset) At(t Real) Local { return o.Base.At(t) + o.Corr }
+
+// Inv implements Clock.
+func (o Offset) Inv(T Local) Real { return o.Base.Inv(T - o.Corr) }
+
+// Rate implements Clock.
+func (o Offset) Rate(t Real) float64 { return o.Base.Rate(t) }
+
+// MaxRho returns the smallest ρ such that a rate r is within [1/(1+ρ), 1+ρ];
+// useful when characterizing a generated clock.
+func MaxRho(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	if rate >= 1 {
+		return rate - 1
+	}
+	return 1/rate - 1
+}

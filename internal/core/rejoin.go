@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Rejoiner implements §9.1: a repaired process that synchronizes its clock
+// with the running system and then joins the main algorithm.
+//
+// The process awakens at an arbitrary time (its START delivery), possibly in
+// the middle of a round, with an arbitrary CORR. As soon as it awakens it
+// begins collecting Tⁱ messages *for all plausible values of Tⁱ* (§9.1),
+// grouping arrivals by the round mark they carry. It must identify a round
+// it observed from the beginning; since it may have awakened mid-round, a
+// group whose first arrival is too close to the wake-up instant is discarded
+// as possibly partial (the paper's "allowing part of a round to pass" to
+// orient). For a fully observed group, it waits (1+ρ)(β+2ε) on its own clock
+// after the group's first arrival — long enough to have heard every
+// nonfaulty process — then performs the same fault-tolerant averaging as the
+// main algorithm:
+//
+//	ADJ = Tⁱ + δ − mid(reduce_f(ARR)),  CORR += ADJ.
+//
+// The arbitrary initial clock cancels in the subtraction (§9.1's first
+// observation), so the new clock reaches Tⁱ⁺¹ within β of every nonfaulty
+// process, at which point the process rejoins the main algorithm and begins
+// broadcasting again. Groups gathered for Byzantine-invented marks never
+// reach n−f arrivals and are discarded at their deadlines.
+//
+// Until it rejoins, the process sends nothing; it is counted as one of the f
+// faulty processes, which the others already tolerate.
+type Rejoiner struct {
+	cfg  Config
+	corr clock.Local
+
+	awake     bool
+	wakeLocal clock.Local
+	groups    map[clock.Local]*gatherGroup
+	inner     *Proc // the main algorithm, once synchronized
+}
+
+// gatherGroup accumulates arrivals of one round mark's messages.
+type gatherGroup struct {
+	arr        []float64
+	firstLocal clock.Local
+	count      int
+}
+
+// rejoinDeadline is the timer payload closing a group's gather window.
+type rejoinDeadline struct {
+	mark clock.Local
+}
+
+var (
+	_ sim.Process    = (*Rejoiner)(nil)
+	_ sim.CorrHolder = (*Rejoiner)(nil)
+)
+
+// NewRejoiner builds a reintegrating process. initialCorr is arbitrary (the
+// repaired process's clock is unsynchronized).
+func NewRejoiner(cfg Config, initialCorr clock.Local) *Rejoiner {
+	return &Rejoiner{
+		cfg:    cfg.withDefaults(),
+		corr:   initialCorr,
+		groups: make(map[clock.Local]*gatherGroup),
+	}
+}
+
+// Corr implements sim.CorrHolder.
+func (r *Rejoiner) Corr() clock.Local {
+	if r.inner != nil {
+		return r.inner.Corr()
+	}
+	return r.corr
+}
+
+// Joined reports whether the process has completed reintegration.
+func (r *Rejoiner) Joined() bool { return r.inner != nil }
+
+// Receive implements sim.Process.
+func (r *Rejoiner) Receive(ctx *sim.Context, m sim.Message) {
+	if r.inner != nil {
+		r.inner.Receive(ctx, m)
+		return
+	}
+	switch m.Kind {
+	case sim.KindStart:
+		r.awake = true
+		r.wakeLocal = r.local(ctx)
+	case sim.KindOrdinary:
+		if r.awake {
+			r.gather(ctx, m)
+		}
+	case sim.KindTimer:
+		if d, ok := m.Payload.(rejoinDeadline); ok {
+			r.closeGroup(ctx, d.mark)
+		}
+	}
+}
+
+func (r *Rejoiner) local(ctx *sim.Context) clock.Local { return ctx.PhysNow() + r.corr }
+
+// gatherWait is the local-time length of a group's collection window: all
+// nonfaulty Tⁱ messages arrive within β+2ε real time of the first one
+// (senders within β, delays within ±ε), stretched by drift and by the
+// staggered-broadcast tail when σ > 0.
+func (r *Rejoiner) gatherWait() clock.Local {
+	return clock.Local((1 + r.cfg.Rho) * (r.cfg.Beta + 2*r.cfg.Eps + float64(r.cfg.N)*r.cfg.Stagger))
+}
+
+func (r *Rejoiner) gather(ctx *sim.Context, m sim.Message) {
+	tm, ok := m.Payload.(TMsg)
+	if !ok {
+		return
+	}
+	g := r.groups[tm.Mark]
+	if g == nil {
+		g = &gatherGroup{arr: make([]float64, r.cfg.N), firstLocal: r.local(ctx)}
+		for i := range g.arr {
+			g.arr[i] = math.Inf(-1)
+		}
+		r.groups[tm.Mark] = g
+		ctx.SetTimer(g.firstLocal+r.gatherWait()-r.corr, rejoinDeadline{mark: tm.Mark})
+	}
+	if math.IsInf(g.arr[m.From], -1) {
+		g.count++
+	}
+	g.arr[m.From] = float64(r.local(ctx)) - r.cfg.Stagger*float64(m.From)
+}
+
+func (r *Rejoiner) closeGroup(ctx *sim.Context, mark clock.Local) {
+	g := r.groups[mark]
+	if g == nil || r.inner != nil {
+		return
+	}
+	delete(r.groups, mark)
+	// A group that began too soon after wake-up may be partially observed:
+	// we could have slept through its earlier arrivals.
+	if g.firstLocal-r.wakeLocal <= r.gatherWait() {
+		return
+	}
+	// Fewer than n−f arrivals means the mark was not a real round (or too
+	// many processes are down); discard.
+	if g.count < r.cfg.N-r.cfg.F {
+		return
+	}
+	av, err := r.cfg.Averager.apply(multiset.New(g.arr...), r.cfg.F)
+	if err != nil {
+		panic("core: rejoin averaging: " + err.Error())
+	}
+	adj := float64(mark) + r.cfg.Delta - av
+	r.corr += clock.Local(adj)
+
+	// Join the main algorithm at the next round mark.
+	next := mark + clock.Local(r.cfg.P)
+	inner := NewProc(r.cfg, r.corr)
+	inner.t = next
+	inner.base = next
+	inner.rnd = int(math.Round(float64(next-clock.Local(r.cfg.T0)) / r.cfg.P))
+	r.inner = inner
+	ctx.Annotate(metrics.TagRejoined, float64(inner.rnd))
+	inner.setTimer(ctx, inner.broadcastMark(ctx))
+}

@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// readySpammer is a Byzantine start-up participant: it floods READY messages
+// (trying to trip early round transitions) and broadcasts wild clock values.
+type readySpammer struct {
+	burst int
+}
+
+func (s *readySpammer) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind != sim.KindStart && m.Kind != sim.KindTimer {
+		return
+	}
+	rng := ctx.Rand()
+	ctx.Broadcast(core.ClockMsg{T: clock.Local(rng.NormFloat64() * 100)})
+	for i := 0; i < s.burst; i++ {
+		ctx.Broadcast(core.ReadyMsg{})
+	}
+	ctx.SetTimer(ctx.PhysNow()+0.05, nil)
+}
+
+// runStartupMix runs the §9.2 algorithm with the given fault builders on the
+// top process ids and returns the engine plus the nonfaulty procs.
+func runStartupMix(t *testing.T, n, f int, mkFault func() sim.Process, nFaulty int, seed int64) (*sim.Engine, []*core.StartupProc) {
+	t.Helper()
+	cfg := defaultCfg(n, f)
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	good := make([]*core.StartupProc, 0, n)
+	faulty := make([]bool, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, 3.0, seed)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		starts[i] = clock.Real(i) * 0.01
+		if i >= n-nFaulty {
+			procs[i] = mkFault()
+			faulty[i] = true
+			continue
+		}
+		sp := core.NewStartupProc(cfg, corrs[i])
+		procs[i] = sp
+		good = append(good, sp)
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Faulty:  faulty,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	return eng, good
+}
+
+func startupFinalSkew(t *testing.T, eng *sim.Engine) float64 {
+	t.Helper()
+	skew, ok := metrics.NonfaultySkew(eng, eng.Now())
+	if !ok {
+		t.Fatal("no skew measurable")
+	}
+	return skew
+}
+
+func TestStartupWithSilentFaults(t *testing.T) {
+	cfg := defaultCfg(7, 2)
+	eng, good := runStartupMix(t, 7, 2, func() sim.Process { return silentStartup{} }, 2, 5)
+	for i, sp := range good {
+		if sp.Round() < 8 {
+			t.Errorf("process %d stalled at startup round %d", i, sp.Round())
+		}
+	}
+	if got := startupFinalSkew(t, eng); got > 2*cfg.StartupFloor() {
+		t.Errorf("final skew %v exceeds 2×Lemma-20 floor %v with silent faults", got, 2*cfg.StartupFloor())
+	}
+}
+
+type silentStartup struct{}
+
+func (silentStartup) Receive(*sim.Context, sim.Message) {}
+
+func TestStartupWithReadySpammers(t *testing.T) {
+	cfg := defaultCfg(7, 2)
+	eng, good := runStartupMix(t, 7, 2, func() sim.Process { return &readySpammer{burst: 3} }, 2, 6)
+	for i, sp := range good {
+		if sp.Round() < 8 {
+			t.Errorf("process %d stalled at startup round %d", i, sp.Round())
+		}
+	}
+	// Spammed READYs accelerate round transitions but must not break the
+	// convergence: allow a loose 4× floor here.
+	if got := startupFinalSkew(t, eng); got > 4*cfg.StartupFloor() {
+		t.Errorf("final skew %v exceeds 4×floor %v under READY spam", got, 4*cfg.StartupFloor())
+	}
+}
+
+// TestStartupRecurrenceUnderFaults checks Lemma 20 round over round with two
+// silent faults: Bⁱ⁺¹ ≤ Bⁱ/2 + 2ε + 2ρ(11δ+39ε), allowing measurement slack.
+func TestStartupRecurrenceUnderFaults(t *testing.T) {
+	cfg := defaultCfg(7, 2)
+	n := cfg.N
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	faulty := make([]bool, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, 2.0, 17)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		starts[i] = clock.Real(i) * 0.004
+		if i >= n-2 {
+			procs[i] = silentStartup{}
+			faulty[i] = true
+			continue
+		}
+		procs[i] = core.NewStartupProc(cfg, corrs[i])
+	}
+	eng, err := sim.New(sim.Config{
+		Procs: procs, Clocks: clocks, StartAt: starts,
+		Delay: sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps}, Faulty: faulty, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRoundRecorder(metrics.TagStartupRound, metrics.TagAdjust)
+	eng.Observe(rec)
+	if err := eng.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	rounds := rec.Rounds()
+	if rounds < 8 {
+		t.Fatalf("only %d startup rounds", rounds)
+	}
+	prev := math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		b := rec.SkewAtBegin(i)
+		if i > 0 {
+			bound := cfg.StartupStep(prev)*1.15 + 1e-5
+			if b > bound {
+				t.Errorf("round %d: B = %v exceeds recurrence bound %v", i, b, bound)
+			}
+		}
+		prev = b
+	}
+}

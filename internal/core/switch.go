@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SwitchProc composes the two modes of operation described at the end of
+// §9.2: it first runs the start-up algorithm until the clocks are close, and
+// then switches to the maintenance algorithm. The paper defers the switch
+// protocol to [Lu1]; this implementation uses the following rule, which
+// needs no extra messages:
+//
+// Every process switches after the same fixed number R of start-up rounds
+// (the round count is part of the protocol, so nonfaulty processes agree on
+// it). At the moment its R-th round begins, a process's local time L agrees
+// with every other nonfaulty local time within the Lemma 20 closeness B_R
+// plus the round-start spread (≈ δ+3ε) — a few milliseconds, vastly smaller
+// than the round length P. Each process therefore independently computes the
+// same maintenance epoch
+//
+//	T_start = (⌊L/P⌋ + 2) · P
+//
+// and starts the maintenance algorithm with its round marks anchored there.
+// The +2 margin guarantees T_start is comfortably in the future.
+//
+// Caveat (documented, inherent to any message-free rule): if the local times
+// at the switch instant straddle a multiple of P — a window of a few
+// milliseconds out of every P seconds — processes could compute epochs one
+// round apart. Choose R so that the Lemma 20 closeness ≪ P (any R ≥ 2 in a
+// sane regime) and the race window is ≈ B_R/P per run; the [Lu1] protocol
+// closes it entirely with an extra agreement exchange.
+type SwitchProc struct {
+	cfg Config
+	// switchRound is R: the number of completed start-up rounds before
+	// switching to maintenance.
+	switchRound int
+
+	startup *StartupProc
+	maint   *Proc
+}
+
+var (
+	_ sim.Process    = (*SwitchProc)(nil)
+	_ sim.CorrHolder = (*SwitchProc)(nil)
+)
+
+// NewSwitchProc builds a process that establishes synchronization with the
+// §9.2 algorithm for switchRound rounds and then maintains it with the §4.2
+// algorithm. initialCorr is arbitrary (clocks start unsynchronized).
+func NewSwitchProc(cfg Config, initialCorr clock.Local, switchRound int) *SwitchProc {
+	if switchRound < 2 {
+		switchRound = 2
+	}
+	return &SwitchProc{
+		cfg:         cfg.withDefaults(),
+		switchRound: switchRound,
+		startup:     NewStartupProc(cfg, initialCorr),
+	}
+}
+
+// Corr implements sim.CorrHolder.
+func (s *SwitchProc) Corr() clock.Local {
+	if s.maint != nil {
+		return s.maint.Corr()
+	}
+	return s.startup.Corr()
+}
+
+// Switched reports whether the process is running the maintenance phase.
+func (s *SwitchProc) Switched() bool { return s.maint != nil }
+
+// MaintenanceRound returns the maintenance round counter (0 before switch).
+func (s *SwitchProc) MaintenanceRound() int {
+	if s.maint == nil {
+		return 0
+	}
+	return s.maint.Round()
+}
+
+// StartupRound returns the start-up round counter.
+func (s *SwitchProc) StartupRound() int { return s.startup.Round() }
+
+// Receive implements sim.Process.
+func (s *SwitchProc) Receive(ctx *sim.Context, m sim.Message) {
+	if s.maint != nil {
+		s.maint.Receive(ctx, m)
+		return
+	}
+	s.startup.Receive(ctx, m)
+	if s.startup.Round() >= s.switchRound {
+		s.switchToMaintenance(ctx)
+	}
+}
+
+func (s *SwitchProc) switchToMaintenance(ctx *sim.Context) {
+	// Up to f nonfaulty processes may still be one start-up round behind;
+	// once we stop participating they would wait forever for their n−f
+	// READY messages. A final READY at switch time completes their count
+	// (the start-up RCVD-READY set is keyed by process id, so an extra
+	// READY from an already-counted process is harmless).
+	ctx.Broadcast(ReadyMsg{})
+
+	corr := s.startup.Corr()
+	local := float64(ctx.PhysNow() + corr)
+	epoch := (math.Floor(local/s.cfg.P) + 2) * s.cfg.P
+
+	// Anchor the maintenance config at the common epoch: T⁰ := epoch, so
+	// round marks are epoch, epoch+P, … and the validity statement is
+	// relative to the switch.
+	cfg := s.cfg
+	cfg.T0 = epoch
+	maint := NewProc(cfg, corr)
+	s.maint = maint
+	ctx.Annotate(metrics.TagRejoined, epoch) // reuse tag: "joined maintenance at epoch"
+	maint.setTimer(ctx, maint.broadcastMark(ctx))
+}

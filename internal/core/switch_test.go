@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// runSwitch assembles a cluster of SwitchProcs from arbitrary clocks and
+// runs it past the switch into steady maintenance.
+func runSwitch(t *testing.T, n, f, switchRound int, spread clock.Local, seed int64) (*sim.Engine, []*core.SwitchProc) {
+	t.Helper()
+	cfg := defaultCfg(n, f)
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	sprocs := make([]*core.SwitchProc, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, spread, seed)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		sp := core.NewSwitchProc(cfg, corrs[i], switchRound)
+		sprocs[i] = sp
+		procs[i] = sp
+		starts[i] = clock.Real(i) * 0.003
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start-up rounds take well under 100ms each; then ≥ 2P to reach the
+	// epoch plus maintenance rounds of P each.
+	horizon := clock.Real(float64(switchRound)*0.1 + 10*cfg.P)
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return eng, sprocs
+}
+
+func TestSwitchProcEstablishesThenMaintains(t *testing.T) {
+	eng, sprocs := runSwitch(t, 7, 2, 6, 2.0, 7)
+	for i, sp := range sprocs {
+		if !sp.Switched() {
+			t.Fatalf("process %d never switched (startup round %d)", i, sp.StartupRound())
+		}
+		if sp.MaintenanceRound() < 4 {
+			t.Errorf("process %d only reached maintenance round %d", i, sp.MaintenanceRound())
+		}
+	}
+	// All processes must be in the same maintenance round (no epoch race
+	// for this seed) and tightly synchronized.
+	r0 := sprocs[0].MaintenanceRound()
+	for i, sp := range sprocs {
+		if d := sp.MaintenanceRound() - r0; d < -1 || d > 1 {
+			t.Errorf("process %d in maintenance round %d vs %d", i, sp.MaintenanceRound(), r0)
+		}
+	}
+	skew, ok := metrics.NonfaultySkew(eng, eng.Now())
+	if !ok {
+		t.Fatal("no skew")
+	}
+	cfg := defaultCfg(7, 2)
+	if skew > cfg.Gamma() {
+		t.Errorf("post-switch skew %v exceeds γ = %v", skew, cfg.Gamma())
+	}
+}
+
+func TestSwitchProcDeterministicEpoch(t *testing.T) {
+	// Every process must anchor at the same epoch: check via the annotated
+	// epoch values (TagRejoined is reused for "joined maintenance").
+	cfg := defaultCfg(4, 1)
+	n := cfg.N
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, 1.0, 3)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		procs[i] = core.NewSwitchProc(cfg, corrs[i], 4)
+		starts[i] = 0
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &epochCollector{}
+	eng.Observe(rec)
+	if err := eng.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sp := procs[i].(*core.SwitchProc)
+		if !sp.Switched() {
+			t.Fatalf("process %d did not switch", i)
+		}
+	}
+	if len(rec.epochs) != n {
+		t.Fatalf("saw %d switch annotations, want %d", len(rec.epochs), n)
+	}
+	for i, e := range rec.epochs {
+		if math.Abs(e-rec.epochs[0]) > 1e-9 {
+			t.Errorf("process %d anchored at epoch %v, others at %v", i, e, rec.epochs[0])
+		}
+	}
+}
+
+// epochCollector gathers the switch-epoch annotations.
+type epochCollector struct {
+	epochs []float64
+}
+
+func (c *epochCollector) Sample(*sim.Engine, bool) {}
+
+func (c *epochCollector) OnAnnotation(_ *sim.Engine, a sim.Annotation) {
+	if a.Tag == metrics.TagRejoined {
+		c.epochs = append(c.epochs, a.Value)
+	}
+}

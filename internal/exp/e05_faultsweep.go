@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E05",
+		Title:    "Fault tolerance at the n = 3f+1 boundary",
+		PaperRef: "Assumption A2; [DHS] impossibility",
+		Run:      runE05,
+	})
+}
+
+// faultMix builds `count` faulty processes of the named strategy occupying
+// the top ids of an n-process system.
+func faultMix(cfg core.Config, strategy string, count, n int) map[sim.ProcID]func() sim.Process {
+	mix := make(map[sim.ProcID]func() sim.Process, count)
+	for i := 0; i < count; i++ {
+		id := sim.ProcID(n - 1 - i)
+		switch strategy {
+		case "silent":
+			mix[id] = func() sim.Process { return faults.Silent{} }
+		case "two-faced":
+			mix[id] = func() sim.Process {
+				return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3}
+			}
+		case "noise":
+			mix[id] = func() sim.Process { return &faults.Noise{Cfg: cfg, Burst: 3} }
+		case "stale-replay":
+			mix[id] = func() sim.Process { return &faults.StaleReplay{Cfg: cfg, Offset: 4e-3} }
+		case "crash-mid-run":
+			mix[id] = func() sim.Process {
+				return &faults.CrashAfter{Inner: core.NewProc(cfg, 0), At: 5}
+			}
+		}
+	}
+	return mix
+}
+
+// runE05 sweeps f for n = 3f+1 across fault strategies (agreement must
+// hold), then runs f+1 adversaries in an f-sized system (agreement may
+// fail — the [DHS] boundary).
+func runE05() ([]*Table, error) {
+	strategies := []string{"silent", "two-faced", "noise", "stale-replay", "crash-mid-run"}
+
+	t1 := &Table{
+		ID:       "E05",
+		Title:    "n = 3f+1: steady-state skew under f Byzantine processes stays within γ",
+		PaperRef: "A2",
+		Columns:  []string{"f", "n", "strategy", "paper γ", "measured", "holds"},
+	}
+	for _, f := range []int{1, 2, 3, 4} {
+		n := 3*f + 1
+		cfg := core.Config{Params: analysis.Default(n, f)}
+		for _, s := range strategies {
+			res, err := Run(Workload{Cfg: cfg, Rounds: 12, Faults: faultMix(cfg, s, f, n), Seed: 3})
+			if err != nil {
+				return nil, fmt.Errorf("E05 f=%d %s: %w", f, s, err)
+			}
+			meas := res.Skew.MaxAfterWarmup()
+			t1.AddRow(fmtInt(f), fmtInt(n), s, FmtDur(cfg.Gamma()), FmtDur(meas), Verdict(meas <= cfg.Gamma()))
+		}
+	}
+
+	t2 := &Table{
+		ID:       "E05b",
+		Title:    "Exceeding the boundary: f+1 two-faced adversaries in an f-sized system",
+		PaperRef: "[DHS]: impossible without authentication when n ≤ 3f",
+		Columns:  []string{"system f", "actual faults", "measured skew", "vs γ"},
+	}
+	cfg := core.Config{Params: analysis.Default(7, 2)}
+	for _, actual := range []int{2, 3} {
+		mix := make(map[sim.ProcID]func() sim.Process, actual)
+		for i := 0; i < actual; i++ {
+			id := sim.ProcID(6 - i)
+			mix[id] = func() sim.Process {
+				return &faults.TwoFaced{Cfg: cfg, Lead: 9e-3, Lag: 9e-3,
+					EarlyTo: func(to sim.ProcID) bool { return int(to) < 2 }}
+			}
+		}
+		res, err := Run(Workload{
+			Cfg: cfg, Rounds: 25, Faults: mix, Seed: 3,
+			Delay: sim.ExtremalDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		})
+		if err != nil {
+			return nil, err
+		}
+		meas := res.Skew.Max()
+		rel := "within γ"
+		cell := FmtDur(meas)
+		switch {
+		case meas > 100*cfg.Gamma():
+			rel = "diverged — guarantee lost"
+		case meas > cfg.Gamma():
+			rel = fmt.Sprintf("%.1f× γ — guarantee lost", meas/cfg.Gamma())
+		}
+		t2.AddRow("2", fmtInt(actual), cell, rel)
+	}
+	t2.AddNote("with f+1 coordinated two-faced faults the skew exceeds the f-fault guarantee, as A2 requires")
+	return []*Table{t1, t2}, nil
+}

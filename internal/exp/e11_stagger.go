@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E11",
+		Title:    "Staggered broadcasts on a collision-prone datagram network",
+		PaperRef: "§9.3 (Bell Labs implementation)",
+		Run:      runE11,
+	})
+}
+
+// runE11 reproduces the §9.3 phenomenon: on an Ethernet-like channel with a
+// bounded receive buffer, simultaneous broadcasts collide — "when the system
+// behaves well, it is punished" — and staggering the broadcast times by p·σ
+// removes the loss and restores synchronization quality.
+func runE11() ([]*Table, error) {
+	params := analysis.Default(10, 3)
+	t := &Table{
+		ID:       "E11",
+		Title:    "Datagram loss and skew with and without staggering (n=10, buffer=6)",
+		PaperRef: "§9.3",
+		Columns:  []string{"σ (stagger)", "copies lost", "loss rate", "steady skew", "within γ+nσ drift term"},
+	}
+	for _, sigma := range []float64{0, 0.5e-3, 2e-3} {
+		cfg := core.Config{Params: params, Stagger: sigma}
+		ch := sim.NewEther(0.4e-3, 6)
+		res, err := Run(Workload{
+			Cfg:     cfg,
+			Rounds:  15,
+			Channel: ch,
+			Seed:    13,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sent := res.Engine.MessagesSent() + res.Engine.MessagesLost()
+		lossRate := 0.0
+		if sent > 0 {
+			lossRate = float64(res.Engine.MessagesLost()) / float64(sent)
+		}
+		bound := cfg.Gamma() + float64(cfg.N)*sigma*2*cfg.Rho + 1e-4
+		skew := res.Skew.MaxAfterWarmup()
+		t.AddRow(FmtDur(sigma), fmtInt(int(res.Engine.MessagesLost())), FmtRatio(lossRate),
+			FmtDur(skew), Verdict(skew <= bound))
+	}
+	t.AddNote("σ=0: all ten broadcasts hit each receiver within the contention window and overflow its buffer")
+	t.AddNote("the algorithm still synchronizes under loss (dropped copies look like faulty senders), but with degraded margins; staggering eliminates the loss")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E15",
+		Title:    "Full lifecycle: establish, switch, maintain",
+		PaperRef: "§9.2 end: two modes of operation",
+		Run:      runE15,
+	})
+}
+
+// runE15 reproduces the deployment story the paper sketches at the end of
+// §9.2: run the start-up algorithm until the desired closeness is achieved,
+// switch to the maintenance algorithm, and keep the guarantees from then on.
+// The table reports the three phases of one execution.
+func runE15() ([]*Table, error) {
+	cfg := core.Config{Params: analysis.Default(7, 2)}
+	n := cfg.N
+	const (
+		spread        = 2.0
+		switchRound   = 6
+		maintRounds   = 10
+		startupLength = 0.1 // generous per-round real-time estimate
+	)
+
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	procs := make([]sim.Process, n)
+	starts := make([]clock.Real, n)
+	corrs := clock.RandomOffsets(n, spread, 42)
+	for i := 0; i < n; i++ {
+		clocks[i] = drift.Build(i, n)
+		procs[i] = core.NewSwitchProc(cfg, corrs[i], switchRound)
+		starts[i] = clock.Real(i) * 0.003
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:    42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	skew := &metrics.SkewRecorder{Bucket: 0.5}
+	srec := metrics.NewRoundRecorder(metrics.TagStartupRound, metrics.TagAdjust)
+	mrec := metrics.NewDefaultRoundRecorder()
+	eng.Observe(skew)
+	eng.Observe(srec)
+	eng.Observe(mrec)
+	horizon := clock.Real(switchRound*startupLength + 3*cfg.P + float64(maintRounds)*cfg.P)
+	if err := eng.Run(horizon); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:       "E15",
+		Title:    "One execution: arbitrary clocks → ≈4ε → maintained within γ",
+		PaperRef: "§9.2 end",
+		Columns:  []string{"phase", "quantity", "measured", "paper reference"},
+	}
+	b0 := srec.SkewAtBegin(0)
+	bLast := srec.SkewAtBegin(srec.Rounds() - 1)
+	t.AddRow("establish", "initial closeness B⁰", FmtDur(b0), "arbitrary (spread 2s)")
+	t.AddRow("establish", "closeness after "+fmtInt(switchRound)+" rounds", FmtDur(bLast),
+		"Lemma 20 floor "+FmtDur(cfg.StartupFloor()))
+	allSwitched := true
+	minRound := -1
+	for i := 0; i < n; i++ {
+		sp := eng.Process(sim.ProcID(i)).(*core.SwitchProc)
+		if !sp.Switched() {
+			allSwitched = false
+		}
+		if r := sp.MaintenanceRound(); minRound < 0 || r < minRound {
+			minRound = r
+		}
+	}
+	t.AddRow("switch", "all processes on one epoch", Verdict(allSwitched), "message-free rule (core/switch.go)")
+	t.AddRow("maintain", "rounds completed", fmtInt(minRound), "-")
+	// Steady skew over the final two maintenance rounds.
+	steady, _ := metrics.NonfaultySkew(eng, eng.Now())
+	t.AddRow("maintain", "final skew", FmtDur(steady), "γ = "+FmtDur(cfg.Gamma()))
+	// Maintenance adjustments only: the TagAdjust stream also contains the
+	// (large, legitimate) start-up corrections, so cut at the first
+	// maintenance round's beginning.
+	maintFrom := eng.Now()
+	if ts := mrec.AnnotationTimes(0); len(ts) > 0 {
+		maintFrom = ts[0]
+	}
+	t.AddRow("maintain", "max |ADJ| in maintenance", FmtDur(mrec.MaxAbsAdj(maintFrom)),
+		"Thm 4(a) bound "+FmtDur(cfg.AdjBound()))
+	t.AddNote("the establishment phase cancels a 2-second spread in one round (the DIFF estimator is exact up to ±ε); the recurrence halving is the worst case")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestTableRenderText(t *testing.T) {
+	tbl := &Table{
+		ID:       "T1",
+		Title:    "demo",
+		PaperRef: "Thm X",
+		Columns:  []string{"a", "longer"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("hello %d", 7)
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"T1 — demo", "[Thm X]", "a", "longer", "333", "note: hello 7", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := &Table{ID: "T2", Title: "md", PaperRef: "§9", Columns: []string{"x", "y"}}
+	tbl.AddRow("a", "b")
+	tbl.AddNote("n")
+	var b strings.Builder
+	tbl.Markdown(&b)
+	out := b.String()
+	for _, want := range []string{"### T2 — md", "| x | y |", "| --- | --- |", "| a | b |", "*Note: n*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.500s"},
+		{12e-3, "12.000ms"},
+		{3.25e-6, "3.250µs"},
+		{4e-9, "4.0ns"},
+		{-2e-3, "-2.000ms"},
+	}
+	for _, tt := range tests {
+		if got := FmtDur(tt.in); got != tt.want {
+			t.Errorf("FmtDur(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if Verdict(true) != "ok" || Verdict(false) != "VIOLATED" {
+		t.Error("Verdict rendering wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 16 {
+		t.Fatalf("registry has %d experiments, want ≥ 16", len(all))
+	}
+	// Sorted by id, unique, well formed.
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if i > 0 && all[i-1].ID >= e.ID {
+			t.Errorf("registry not sorted: %s before %s", all[i-1].ID, e.ID)
+		}
+	}
+	if _, err := ByID("E01"); err != nil {
+		t.Errorf("ByID(E01): %v", err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	cfg := core.Config{Params: analysis.Default(4, 1)}
+	res, err := Run(Workload{Cfg: cfg, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds.Rounds() < 5 {
+		t.Errorf("rounds = %d", res.Rounds.Rounds())
+	}
+	if res.Engine == nil || res.Skew == nil || res.Validity == nil {
+		t.Error("result incomplete")
+	}
+}
+
+func TestRunRejectsEmptyWorkload(t *testing.T) {
+	if _, err := Run(Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestRunStartOverride(t *testing.T) {
+	cfg := core.Config{Params: analysis.Default(4, 1)}
+	res, err := Run(Workload{
+		Cfg:    cfg,
+		Rounds: 5,
+		Faults: map[sim.ProcID]func() sim.Process{
+			3: func() sim.Process { return silentProc{} },
+		},
+		StartOverride: map[sim.ProcID]clock.Real{3: 2.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Engine.Faulty(3) {
+		t.Error("fault override not marked faulty")
+	}
+}
+
+type silentProc struct{}
+
+func (silentProc) Receive(*sim.Context, sim.Message) {}
+
+// TestAllExperimentsRun smoke-runs every registered experiment and checks
+// every bound-verdict cell reports ok where the experiment intends it to.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-sized")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %s has no rows", tbl.ID)
+				}
+				// Bound-check columns must all hold, except in the
+				// experiments that demonstrate guarantee loss on purpose
+				// (boundary violation, graceful degradation, ablations).
+				if tbl.ID == "E05b" || tbl.ID == "E12" || tbl.ID == "E16" {
+					continue
+				}
+				for _, row := range tbl.Rows {
+					for _, cell := range row {
+						if cell == "VIOLATED" {
+							t.Errorf("table %s row %v has a violated bound", tbl.ID, row)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package exp contains the experiment harness: reusable workload assembly
+// around the simulator (Run), table rendering, and one file per experiment
+// (e01_halving.go …) reproducing every measurable claim of the paper. The
+// experiment ↔ paper mapping lives in DESIGN.md §3.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Workload assembles one simulation run: the algorithm parameters, the
+// substrate (drift schedule, delay model, channel), the fault mix, and how
+// long to run. Zero fields get sensible defaults (see Run).
+type Workload struct {
+	Cfg core.Config
+
+	// Drift defaults to ConstantDrift spanning the full ρ-band.
+	Drift clock.DriftSchedule
+	// Delay defaults to UniformDelay{δ, ε}.
+	Delay sim.DelayModel
+	// Channel defaults to the reliable full mesh.
+	Channel sim.Channel
+
+	// InitialSpread is the real-time width over which the initial logical
+	// clocks are spread (assumption A4 requires ≤ β). Defaults to 0.9β.
+	InitialSpread float64
+
+	// MakeProc builds the nonfaulty automaton for a process; defaults to
+	// the paper's maintenance algorithm. Baseline experiments override it.
+	MakeProc func(id sim.ProcID, initialCorr clock.Local) sim.Process
+
+	// Faults maps process ids to faulty automaton builders; these
+	// processes are marked faulty for all metrics.
+	Faults map[sim.ProcID]func() sim.Process
+
+	// StartOverride replaces the computed START delivery time for specific
+	// processes (e.g. a reintegrating process waking late).
+	StartOverride map[sim.ProcID]clock.Real
+
+	// Rounds is how many rounds to simulate (default 20).
+	Rounds int
+	// Seed drives delay sampling (default 1).
+	Seed int64
+	// SkewBucket, when positive, collects a per-bucket max-skew series.
+	SkewBucket clock.Real
+	// WarmupRounds sets the steady-state boundary for MaxAfterWarmup
+	// (default: half of Rounds).
+	WarmupRounds int
+	// Observers are registered with the engine in addition to the standard
+	// recorders (e.g. a sim.Tracer).
+	Observers []sim.Observer
+}
+
+// Result bundles the engine and the recorders after a run.
+type Result struct {
+	Engine   *sim.Engine
+	Skew     *metrics.SkewRecorder
+	Rounds   *metrics.RoundRecorder
+	Validity *metrics.ValidityRecorder
+	Horizon  clock.Real
+}
+
+// Run assembles and executes the workload, returning the recorders.
+func Run(w Workload) (*Result, error) {
+	cfg := w.Cfg
+	n := cfg.N
+	if n == 0 {
+		return nil, fmt.Errorf("exp: workload has no processes")
+	}
+	drift := w.Drift
+	if drift == nil {
+		drift = clock.ConstantDrift{RhoBound: cfg.Rho}
+	}
+	delay := w.Delay
+	if delay == nil {
+		delay = sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps}
+	}
+	rounds := w.Rounds
+	if rounds <= 0 {
+		rounds = 20
+	}
+	spread := w.InitialSpread
+	if spread == 0 {
+		spread = 0.9 * cfg.Beta
+	}
+	makeProc := w.MakeProc
+	if makeProc == nil {
+		makeProc = func(_ sim.ProcID, corr clock.Local) sim.Process {
+			return core.NewProc(cfg, corr)
+		}
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	clocks := make([]clock.Clock, n)
+	for i := range clocks {
+		clocks[i] = drift.Build(i, n)
+	}
+	corrs := core.InitialCorrsWithinBeta(cfg, clocks, spread)
+	starts := core.StartTimes(cfg, clocks, corrs)
+
+	procs := make([]sim.Process, n)
+	faulty := make([]bool, n)
+	for i := range procs {
+		if mk, ok := w.Faults[sim.ProcID(i)]; ok {
+			procs[i] = mk()
+			faulty[i] = true
+			continue
+		}
+		procs[i] = makeProc(sim.ProcID(i), corrs[i])
+	}
+	for id, at := range w.StartOverride {
+		starts[id] = at
+	}
+
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   delay,
+		Channel: w.Channel,
+		Faulty:  faulty,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+
+	// tmin⁰ / tmax⁰ over nonfaulty processes, for validity bookkeeping.
+	tmin0, tmax0 := starts[0], starts[0]
+	first := true
+	for i, s := range starts {
+		if faulty[i] {
+			continue
+		}
+		if first {
+			tmin0, tmax0, first = s, s, false
+			continue
+		}
+		if s < tmin0 {
+			tmin0 = s
+		}
+		if s > tmax0 {
+			tmax0 = s
+		}
+	}
+
+	warmRounds := w.WarmupRounds
+	if warmRounds <= 0 {
+		warmRounds = rounds / 2
+	}
+	horizon := tmax0 + clock.Real(float64(rounds)*cfg.P*(1+2*cfg.Rho)+2*cfg.Window()+cfg.Delta+1)
+
+	skew := &metrics.SkewRecorder{
+		Warmup: tmax0 + clock.Real(float64(warmRounds)*cfg.P),
+		Bucket: w.SkewBucket,
+	}
+	rrec := metrics.NewDefaultRoundRecorder()
+	a1, a2, a3 := cfg.Validity()
+	vrec := &metrics.ValidityRecorder{
+		Alpha1: a1, Alpha2: a2, Alpha3: a3,
+		T0:    cfg.T0,
+		TMin0: tmin0, TMax0: tmax0,
+		From: tmax0,
+	}
+	eng.Observe(skew)
+	eng.Observe(rrec)
+	eng.Observe(vrec)
+	for _, o := range w.Observers {
+		eng.Observe(o)
+	}
+
+	if err := eng.Run(horizon); err != nil {
+		return nil, fmt.Errorf("exp: run: %w", err)
+	}
+	return &Result{Engine: eng, Skew: skew, Rounds: rrec, Validity: vrec, Horizon: horizon}, nil
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of cells with optional
+// footnotes, renderable as aligned text or markdown.
+type Table struct {
+	ID       string // experiment id, e.g. "E01"
+	Title    string
+	PaperRef string // where in the paper the claim lives, e.g. "Theorem 16"
+	Columns  []string
+	Rows     [][]string
+	Notes    []string
+}
+
+// AddRow appends a row; cell count should match Columns.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s  [%s]\n", t.ID, t.Title, t.PaperRef)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, fmt.Sprintf("%-*s", widths[i], c))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Markdown writes the table as GitHub-flavored markdown.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n*Paper reference: %s*\n\n", t.ID, t.Title, t.PaperRef)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*Note: %s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FmtDur renders a duration in seconds with an adaptive unit (s/ms/µs/ns).
+func FmtDur(sec float64) string {
+	a := math.Abs(sec)
+	switch {
+	case a == 0:
+		return "0"
+	case a >= 1:
+		return fmt.Sprintf("%.3fs", sec)
+	case a >= 1e-3:
+		return fmt.Sprintf("%.3fms", sec*1e3)
+	case a >= 1e-6:
+		return fmt.Sprintf("%.3fµs", sec*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", sec*1e9)
+	}
+}
+
+// FmtRatio renders a dimensionless ratio.
+func FmtRatio(r float64) string { return fmt.Sprintf("%.3f", r) }
+
+// Verdict renders the standard ok/VIOLATED cell for a bound check.
+func Verdict(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}

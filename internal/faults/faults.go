@@ -1,0 +1,213 @@
+// Package faults provides Byzantine process behaviors for the simulator.
+// Faulty processes implement the same automaton interface as nonfaulty ones
+// but are unconstrained (§2.1: "they can choose when they take steps and can
+// do anything they want at a step").
+//
+// For the clock synchronization algorithm the only influence a faulty
+// process has on a nonfaulty one is *when* its messages arrive (the ARR
+// array stores arrival times; payload content is irrelevant to nonfaulty
+// state). The strongest attacks therefore manipulate send timing
+// per-recipient (two-faced behavior), which the fault-tolerant averaging
+// function must — and does — withstand for up to f faults when n ≥ 3f+1.
+package faults
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Silent is a process that crashed before the execution began: it never
+// sends anything. Its stale (never-updated) ARR entries at other processes
+// are exactly the "faulty value" case of Lemma 6.
+type Silent struct{}
+
+var _ sim.Process = Silent{}
+
+// Receive implements sim.Process.
+func (Silent) Receive(*sim.Context, sim.Message) {}
+
+// CrashAfter behaves as Inner until the process's physical clock reaches At,
+// then stops forever (a crash failure, the benign end of the Byzantine
+// spectrum).
+type CrashAfter struct {
+	Inner sim.Process
+	At    clock.Local
+
+	dead bool
+}
+
+var _ sim.Process = (*CrashAfter)(nil)
+
+// Receive implements sim.Process.
+func (c *CrashAfter) Receive(ctx *sim.Context, m sim.Message) {
+	if c.dead || ctx.PhysNow() >= c.At {
+		c.dead = true
+		return
+	}
+	c.Inner.Receive(ctx, m)
+}
+
+// Corr exposes the inner correction while alive so metrics can ignore or
+// inspect it; after death it reports the last value.
+func (c *CrashAfter) Corr() clock.Local {
+	if h, ok := c.Inner.(sim.CorrHolder); ok {
+		return h.Corr()
+	}
+	return 0
+}
+
+// sendAt is the timer payload two-faced processes use to schedule a
+// per-recipient send.
+type sendAt struct {
+	to      sim.ProcID
+	payload any
+}
+
+// TwoFaced runs the honest round schedule on its own (uncorrected) physical
+// clock but delivers its round message *early* to recipients selected by
+// EarlyTo and *late* to the rest: each round it sends at mark−Lead to the
+// early group and mark+Lag to the late group. This plants arrival times at
+// opposite extremes of different processes' windows, the canonical attempt
+// to pull the group apart.
+type TwoFaced struct {
+	Cfg core.Config
+	// Lead and Lag are local-time offsets (seconds); both should be small
+	// enough that messages still land inside the honest windows, else they
+	// are simply discarded by reduce as extreme values.
+	Lead, Lag float64
+	// EarlyTo selects recipients that get the early copy. Nil means the
+	// lower half of the id space.
+	EarlyTo func(to sim.ProcID) bool
+	// MakePayload builds the message payload for a round mark; nil means
+	// the main algorithm's TMsg. Baseline experiments substitute the
+	// baseline's dialect (e.g. an ms.ClockMsg) so the attack reaches it.
+	MakePayload func(mark clock.Local) any
+
+	round int
+}
+
+var _ sim.Process = (*TwoFaced)(nil)
+
+// Receive implements sim.Process.
+func (t *TwoFaced) Receive(ctx *sim.Context, m sim.Message) {
+	switch m.Kind {
+	case sim.KindStart:
+		t.scheduleRound(ctx)
+	case sim.KindTimer:
+		switch p := m.Payload.(type) {
+		case sendAt:
+			ctx.Send(p.to, p.payload)
+		case nextRound:
+			t.scheduleRound(ctx)
+		}
+	}
+}
+
+type nextRound struct{}
+
+func (t *TwoFaced) scheduleRound(ctx *sim.Context) {
+	mark := t.Cfg.T0 + float64(t.round)*t.Cfg.P
+	var payload any = core.TMsg{Mark: clock.Local(mark)}
+	if t.MakePayload != nil {
+		payload = t.MakePayload(clock.Local(mark))
+	}
+	early := t.EarlyTo
+	if early == nil {
+		n := ctx.N()
+		early = func(to sim.ProcID) bool { return int(to) < n/2 }
+	}
+	for q := 0; q < ctx.N(); q++ {
+		at := mark + t.Lag
+		if early(sim.ProcID(q)) {
+			at = mark - t.Lead
+		}
+		ctx.SetTimer(clock.Local(at), sendAt{to: sim.ProcID(q), payload: payload})
+	}
+	t.round++
+	ctx.SetTimer(clock.Local(t.Cfg.T0+float64(t.round)*t.Cfg.P-t.Lead-1e-9), nextRound{})
+}
+
+// Noise floods the system with Burst messages at random times each round —
+// a babbling fault. Nonfaulty ARR entries get overwritten by whichever copy
+// arrives last, landing at an arbitrary point of the window.
+type Noise struct {
+	Cfg   core.Config
+	Burst int // messages per round per recipient; default 3
+
+	round int
+}
+
+var _ sim.Process = (*Noise)(nil)
+
+// Receive implements sim.Process.
+func (f *Noise) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind != sim.KindStart && m.Kind != sim.KindTimer {
+		return
+	}
+	if p, ok := m.Payload.(sendAt); ok {
+		ctx.Send(p.to, p.payload)
+		return
+	}
+	burst := f.Burst
+	if burst <= 0 {
+		burst = 3
+	}
+	rng := ctx.Rand()
+	mark := f.Cfg.T0 + float64(f.round)*f.Cfg.P
+	window := f.Cfg.Window()
+	for q := 0; q < ctx.N(); q++ {
+		for b := 0; b < burst; b++ {
+			at := mark + rng.Float64()*window
+			bogus := core.TMsg{Mark: clock.Local(mark + rng.NormFloat64()*window)}
+			ctx.SetTimer(clock.Local(at), sendAt{to: sim.ProcID(q), payload: bogus})
+		}
+	}
+	f.round++
+	ctx.SetTimer(clock.Local(f.Cfg.T0+float64(f.round)*f.Cfg.P), nextRound{})
+}
+
+// StaleReplay follows the honest schedule but always broadcasts Offset
+// seconds late with an old round mark — a process whose clock logic is
+// stuck. Its arrivals sit at the late edge of every window.
+type StaleReplay struct {
+	Cfg    core.Config
+	Offset float64
+
+	round int
+}
+
+var _ sim.Process = (*StaleReplay)(nil)
+
+// Receive implements sim.Process.
+func (s *StaleReplay) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind != sim.KindStart && m.Kind != sim.KindTimer {
+		return
+	}
+	oldMark := s.Cfg.T0 // always replays round 0's mark
+	ctx.Broadcast(core.TMsg{Mark: clock.Local(oldMark)})
+	s.round++
+	next := s.Cfg.T0 + float64(s.round)*s.Cfg.P + s.Offset
+	ctx.SetTimer(clock.Local(next), nil)
+}
+
+// LyingMark behaves exactly like an honest process in *timing* but lies
+// about the mark value in its payload. Because nonfaulty processes use only
+// arrival times, this fault is harmless to them — a useful control strategy
+// in the fault-sweep experiment.
+type LyingMark struct {
+	Inner *core.Proc
+}
+
+var _ sim.Process = (*LyingMark)(nil)
+
+// Receive implements sim.Process. It delegates to the honest automaton; the
+// lie is immaterial in this implementation because honest receivers ignore
+// payload content, so delegation is behaviorally identical and keeps the
+// timing honest.
+func (l *LyingMark) Receive(ctx *sim.Context, m sim.Message) {
+	l.Inner.Receive(ctx, m)
+}
+
+// Corr exposes the inner correction.
+func (l *LyingMark) Corr() clock.Local { return l.Inner.Corr() }

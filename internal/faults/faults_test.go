@@ -1,0 +1,109 @@
+package faults_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+func cfg7() core.Config { return core.Config{Params: analysis.Default(7, 2)} }
+
+func runWith(t *testing.T, cfg core.Config, mix map[sim.ProcID]func() sim.Process) *exp.Result {
+	t.Helper()
+	res, err := exp.Run(exp.Workload{Cfg: cfg, Rounds: 12, Faults: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSilentTolerated(t *testing.T) {
+	cfg := cfg7()
+	res := runWith(t, cfg, map[sim.ProcID]func() sim.Process{
+		1: func() sim.Process { return faults.Silent{} },
+		4: func() sim.Process { return faults.Silent{} },
+	})
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with silent faults", got, cfg.Gamma())
+	}
+}
+
+func TestCrashAfterStopsActing(t *testing.T) {
+	cfg := cfg7()
+	res := runWith(t, cfg, map[sim.ProcID]func() sim.Process{
+		6: func() sim.Process {
+			return &faults.CrashAfter{Inner: core.NewProc(cfg, 0), At: 5.0}
+		},
+	})
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with a mid-run crash", got, cfg.Gamma())
+	}
+	// The crashed process's automaton must be frozen: its round counter
+	// stays near where it was at the crash (physical time 5 ≈ round 5).
+	ca := res.Engine.Process(6).(*faults.CrashAfter)
+	inner := ca.Inner.(*core.Proc)
+	if inner.Round() > 6 {
+		t.Errorf("crashed process advanced to round %d after its crash time", inner.Round())
+	}
+}
+
+func TestNoiseTolerated(t *testing.T) {
+	cfg := cfg7()
+	res := runWith(t, cfg, map[sim.ProcID]func() sim.Process{
+		0: func() sim.Process { return &faults.Noise{Cfg: cfg, Burst: 4} },
+		3: func() sim.Process { return &faults.Noise{Cfg: cfg, Burst: 4} },
+	})
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with noise faults", got, cfg.Gamma())
+	}
+}
+
+func TestStaleReplayTolerated(t *testing.T) {
+	cfg := cfg7()
+	res := runWith(t, cfg, map[sim.ProcID]func() sim.Process{
+		2: func() sim.Process { return &faults.StaleReplay{Cfg: cfg, Offset: 3e-3} },
+		5: func() sim.Process { return &faults.StaleReplay{Cfg: cfg, Offset: 5e-3} },
+	})
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with stale-replay faults", got, cfg.Gamma())
+	}
+}
+
+func TestTwoFacedTolerated(t *testing.T) {
+	cfg := cfg7()
+	res := runWith(t, cfg, map[sim.ProcID]func() sim.Process{
+		5: func() sim.Process { return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3} },
+		6: func() sim.Process { return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3} },
+	})
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with two-faced faults", got, cfg.Gamma())
+	}
+}
+
+func TestLyingMarkHarmless(t *testing.T) {
+	cfg := cfg7()
+	// A LyingMark process is *not* marked faulty here: it behaves honestly
+	// in timing, so agreement must hold even counting it as nonfaulty.
+	res, err := exp.Run(exp.Workload{
+		Cfg:    cfg,
+		Rounds: 12,
+		MakeProc: func(id sim.ProcID, corr clock.Local) sim.Process {
+			p := core.NewProc(cfg, corr)
+			if id == 3 {
+				return &faults.LyingMark{Inner: p}
+			}
+			return p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Skew.Max(); got > cfg.Gamma() {
+		t.Errorf("skew %v exceeds γ %v with a lying-mark process", got, cfg.Gamma())
+	}
+}

@@ -1,0 +1,281 @@
+// Package metrics turns engine observations into the quantities the paper
+// reasons about: the maximum skew between nonfaulty local times (γ of
+// Theorem 16), the per-round real-time spread of round beginnings (β of
+// Theorem 4(c)), adjustment magnitudes (Theorem 4(a)), and the validity
+// envelope of Theorem 19.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// TimedValue is an annotation value with its real timestamp.
+type TimedValue struct {
+	At    clock.Real
+	Proc  sim.ProcID
+	Value float64
+}
+
+// SkewRecorder tracks max |L_p(t) − L_q(t)| over nonfaulty p, q. Because the
+// engine samples immediately before and after every action, the recorder
+// sees the exact extremes of the piecewise-linear skew function.
+type SkewRecorder struct {
+	// Warmup discards samples before this real time from MaxAfterWarmup
+	// (steady-state skew, after initial convergence).
+	Warmup clock.Real
+	// Bucket groups the skew series into real-time buckets of this width;
+	// zero disables series collection.
+	Bucket clock.Real
+
+	max       float64
+	maxAfter  float64
+	series    []float64 // per-bucket max skew
+	curBucket int
+}
+
+var _ sim.Observer = (*SkewRecorder)(nil)
+
+// Sample implements sim.Observer.
+func (r *SkewRecorder) Sample(e *sim.Engine, _ bool) {
+	skew, ok := NonfaultySkew(e, e.Now())
+	if !ok {
+		return
+	}
+	if skew > r.max {
+		r.max = skew
+	}
+	if e.Now() >= r.Warmup && skew > r.maxAfter {
+		r.maxAfter = skew
+	}
+	if r.Bucket > 0 {
+		b := int(e.Now() / r.Bucket)
+		for len(r.series) <= b {
+			r.series = append(r.series, 0)
+		}
+		if skew > r.series[b] {
+			r.series[b] = skew
+		}
+	}
+}
+
+// OnAnnotation implements sim.Observer.
+func (r *SkewRecorder) OnAnnotation(*sim.Engine, sim.Annotation) {}
+
+// Max returns the largest skew observed over the whole run.
+func (r *SkewRecorder) Max() float64 { return r.max }
+
+// MaxAfterWarmup returns the largest skew observed at or after Warmup.
+func (r *SkewRecorder) MaxAfterWarmup() float64 { return r.maxAfter }
+
+// Series returns the per-bucket max skew (empty if Bucket was zero).
+func (r *SkewRecorder) Series() []float64 { return r.series }
+
+// NonfaultySkew computes max−min of the nonfaulty local times at real time t.
+// ok is false when fewer than two nonfaulty processes expose local times.
+func NonfaultySkew(e *sim.Engine, t clock.Real) (float64, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, p := range e.NonfaultyIDs() {
+		lt, ok := e.LocalTime(p, t)
+		if !ok {
+			continue
+		}
+		count++
+		v := float64(lt)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if count < 2 {
+		return 0, false
+	}
+	return hi - lo, true
+}
+
+// RoundRecorder collects the per-round annotations emitted by the core (and
+// baseline) processes.
+type RoundRecorder struct {
+	// BeginTag and AdjTag name the annotations to collect; the core
+	// package's TagRoundBegin/TagAdjust by default (set by NewRoundRecorder).
+	BeginTag string
+	AdjTag   string
+
+	begins map[int][]TimedValue // round index → round-begin events
+	adjs   []TimedValue         // all adjustments in arrival order
+	// skewAtBegin tracks the instantaneous nonfaulty skew at the *latest*
+	// round-begin annotation seen so far per round — the paper's Bⁱ is
+	// defined "at the latest real time when a nonfaulty process begins
+	// round i" (§9.2). Annotations arrive in time order, so overwriting
+	// keeps the latest.
+	skewAtBegin map[int]float64
+}
+
+var _ sim.Observer = (*RoundRecorder)(nil)
+
+// NewRoundRecorder builds a recorder for the given annotation tags.
+func NewRoundRecorder(beginTag, adjTag string) *RoundRecorder {
+	return &RoundRecorder{
+		BeginTag:    beginTag,
+		AdjTag:      adjTag,
+		begins:      make(map[int][]TimedValue),
+		skewAtBegin: make(map[int]float64),
+	}
+}
+
+// Sample implements sim.Observer.
+func (r *RoundRecorder) Sample(*sim.Engine, bool) {}
+
+// OnAnnotation implements sim.Observer.
+func (r *RoundRecorder) OnAnnotation(e *sim.Engine, a sim.Annotation) {
+	if e.Faulty(a.Proc) {
+		return
+	}
+	switch a.Tag {
+	case r.BeginTag:
+		i := int(a.Value)
+		r.begins[i] = append(r.begins[i], TimedValue{At: a.At, Proc: a.Proc, Value: a.Value})
+		if skew, ok := NonfaultySkew(e, a.At); ok {
+			r.skewAtBegin[i] = skew
+		}
+	case r.AdjTag:
+		r.adjs = append(r.adjs, TimedValue{At: a.At, Proc: a.Proc, Value: a.Value})
+	}
+}
+
+// Rounds returns the number of rounds for which every nonfaulty process has
+// a recorded beginning (consecutive from 0).
+func (r *RoundRecorder) Rounds() int {
+	i := 0
+	for {
+		if _, ok := r.begins[i]; !ok {
+			return i
+		}
+		i++
+	}
+}
+
+// BetaMeasured returns the real-time spread of round i's beginnings — the
+// measured βᵢ of Theorem 4(c) — and false if round i was not observed.
+func (r *RoundRecorder) BetaMeasured(i int) (float64, bool) {
+	evs := r.begins[i]
+	if len(evs) == 0 {
+		return 0, false
+	}
+	lo, hi := evs[0].At, evs[0].At
+	for _, ev := range evs[1:] {
+		if ev.At < lo {
+			lo = ev.At
+		}
+		if ev.At > hi {
+			hi = ev.At
+		}
+	}
+	return float64(hi - lo), true
+}
+
+// BetaSeries returns the measured βᵢ for all complete rounds.
+func (r *RoundRecorder) BetaSeries() []float64 {
+	n := r.Rounds()
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		b, _ := r.BetaMeasured(i)
+		out = append(out, b)
+	}
+	return out
+}
+
+// SkewAtBegin returns the instantaneous nonfaulty skew at the latest
+// round-begin annotation of round i (the paper's Bⁱ for the start-up
+// algorithm).
+func (r *RoundRecorder) SkewAtBegin(i int) float64 { return r.skewAtBegin[i] }
+
+// MaxAbsAdj returns the largest |ADJ| over nonfaulty processes, optionally
+// restricted to adjustments at or after real time from.
+func (r *RoundRecorder) MaxAbsAdj(from clock.Real) float64 {
+	m := 0.0
+	for _, a := range r.adjs {
+		if a.At < from {
+			continue
+		}
+		if v := math.Abs(a.Value); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Adjustments returns all recorded adjustments in arrival order.
+func (r *RoundRecorder) Adjustments() []TimedValue { return r.adjs }
+
+// AnnotationTimes returns, per round, the sorted real times of the begin
+// annotations (useful for validity's tmin/tmax bookkeeping).
+func (r *RoundRecorder) AnnotationTimes(i int) []clock.Real {
+	evs := r.begins[i]
+	ts := make([]clock.Real, len(evs))
+	for j, ev := range evs {
+		ts[j] = ev.At
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	return ts
+}
+
+// ValidityRecorder checks the Theorem 19 envelope
+//
+//	α₁(t − tmax⁰) − α₃ ≤ L_p(t) − T⁰ ≤ α₂(t − tmin⁰) + α₃
+//
+// at every sample and tracks the worst violation (a nonpositive worst
+// violation means the envelope held throughout).
+type ValidityRecorder struct {
+	Alpha1, Alpha2, Alpha3 float64
+	T0                     float64
+	TMin0, TMax0           clock.Real
+	// From discards samples before this real time (validity is stated for
+	// t ≥ t_p⁰).
+	From clock.Real
+
+	worst   float64 // max over samples of (violation amount); ≤ 0 when clean
+	samples int
+}
+
+var _ sim.Observer = (*ValidityRecorder)(nil)
+
+// Sample implements sim.Observer.
+func (v *ValidityRecorder) Sample(e *sim.Engine, _ bool) {
+	t := e.Now()
+	if t < v.From {
+		return
+	}
+	for _, p := range e.NonfaultyIDs() {
+		lt, ok := e.LocalTime(p, t)
+		if !ok {
+			continue
+		}
+		v.samples++
+		elapsed := float64(lt) - v.T0
+		lower := v.Alpha1*float64(t-v.TMax0) - v.Alpha3
+		upper := v.Alpha2*float64(t-v.TMin0) + v.Alpha3
+		if d := lower - elapsed; d > v.worst {
+			v.worst = d
+		}
+		if d := elapsed - upper; d > v.worst {
+			v.worst = d
+		}
+	}
+}
+
+// OnAnnotation implements sim.Observer.
+func (v *ValidityRecorder) OnAnnotation(*sim.Engine, sim.Annotation) {}
+
+// WorstViolation returns the largest envelope violation observed; values ≤ 0
+// mean Theorem 19 held at every sample.
+func (v *ValidityRecorder) WorstViolation() float64 { return v.worst }
+
+// Samples returns how many (process, time) points were checked.
+func (v *ValidityRecorder) Samples() int { return v.samples }

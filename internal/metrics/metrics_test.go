@@ -1,0 +1,196 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// stubProc exposes a fixed correction and performs scripted actions.
+type stubProc struct {
+	corr    clock.Local
+	onStart func(ctx *sim.Context)
+}
+
+func (s *stubProc) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind == sim.KindStart && s.onStart != nil {
+		s.onStart(ctx)
+	}
+}
+
+func (s *stubProc) Corr() clock.Local { return s.corr }
+
+// buildEngine makes an engine of stub processes with the given corrections
+// and all-zero start times.
+func buildEngine(t *testing.T, corrs []clock.Local, faulty []bool, hook func(id int) func(*sim.Context)) *sim.Engine {
+	t.Helper()
+	n := len(corrs)
+	procs := make([]sim.Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	for i := range procs {
+		p := &stubProc{corr: corrs[i]}
+		if hook != nil {
+			p.onStart = hook(i)
+		}
+		procs[i] = p
+		clocks[i] = clock.Linear(0, 1)
+	}
+	e, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.ConstantDelay{Delta: 0.01},
+		Faulty:  faulty,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNonfaultySkew(t *testing.T) {
+	e := buildEngine(t, []clock.Local{0, 3, 10}, []bool{false, false, true}, nil)
+	skew, ok := metrics.NonfaultySkew(e, 5)
+	if !ok {
+		t.Fatal("expected skew")
+	}
+	// Faulty process's offset 10 must be ignored: skew = 3 − 0.
+	if math.Abs(skew-3) > 1e-12 {
+		t.Errorf("skew = %v, want 3", skew)
+	}
+}
+
+func TestNonfaultySkewNeedsTwo(t *testing.T) {
+	e := buildEngine(t, []clock.Local{0, 1}, []bool{false, true}, nil)
+	if _, ok := metrics.NonfaultySkew(e, 0); ok {
+		t.Error("skew with a single nonfaulty process should report not-ok")
+	}
+}
+
+func TestSkewRecorder(t *testing.T) {
+	e := buildEngine(t, []clock.Local{0, 2, 7}, nil, nil)
+	rec := &metrics.SkewRecorder{Warmup: 100, Bucket: 1}
+	e.Observe(rec)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rec.Max()-7) > 1e-12 {
+		t.Errorf("Max = %v, want 7", rec.Max())
+	}
+	// No sample at or after warmup 100 within horizon 10... except the
+	// final horizon sample happens at t=10 < 100, so MaxAfterWarmup = 0.
+	if rec.MaxAfterWarmup() != 0 {
+		t.Errorf("MaxAfterWarmup = %v, want 0", rec.MaxAfterWarmup())
+	}
+	if len(rec.Series()) == 0 {
+		t.Error("bucketed series missing")
+	}
+	for _, v := range rec.Series() {
+		if v != 0 && math.Abs(v-7) > 1e-12 {
+			t.Errorf("series bucket = %v, want 0 or 7", v)
+		}
+	}
+}
+
+func TestRoundRecorder(t *testing.T) {
+	hook := func(id int) func(*sim.Context) {
+		return func(ctx *sim.Context) {
+			ctx.Annotate(metrics.TagRoundBegin, 0)
+			ctx.Annotate(metrics.TagAdjust, float64(id+1)*1e-3)
+		}
+	}
+	// Process 2 is faulty: its annotations must be ignored.
+	e := buildEngine(t, []clock.Local{0, 1e-3, 5}, []bool{false, false, true}, hook)
+	rec := metrics.NewDefaultRoundRecorder()
+	e.Observe(rec)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rounds() != 1 {
+		t.Fatalf("Rounds = %d, want 1", rec.Rounds())
+	}
+	// Both nonfaulty STARTs are at t=0, so β₀ = 0.
+	b, ok := rec.BetaMeasured(0)
+	if !ok || b != 0 {
+		t.Errorf("BetaMeasured(0) = %v,%v", b, ok)
+	}
+	if _, ok := rec.BetaMeasured(5); ok {
+		t.Error("BetaMeasured for unseen round should report not-ok")
+	}
+	// Adjustments: 1ms and 2ms from the two nonfaulty processes.
+	if got := rec.MaxAbsAdj(0); math.Abs(got-2e-3) > 1e-12 {
+		t.Errorf("MaxAbsAdj = %v, want 2ms", got)
+	}
+	if got := rec.MaxAbsAdj(50); got != 0 {
+		t.Errorf("MaxAbsAdj(after 50) = %v, want 0", got)
+	}
+	if len(rec.Adjustments()) != 2 {
+		t.Errorf("Adjustments = %v, want 2 entries", rec.Adjustments())
+	}
+	// Skew at the (latest) begin of round 0 is the nonfaulty skew 1ms.
+	if got := rec.SkewAtBegin(0); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("SkewAtBegin = %v, want 1ms", got)
+	}
+	if ts := rec.AnnotationTimes(0); len(ts) != 2 || ts[0] != 0 || ts[1] != 0 {
+		t.Errorf("AnnotationTimes = %v", ts)
+	}
+	series := rec.BetaSeries()
+	if len(series) != 1 || series[0] != 0 {
+		t.Errorf("BetaSeries = %v", series)
+	}
+}
+
+func TestValidityRecorder(t *testing.T) {
+	// Perfect clocks with zero corrections: L_p(t) − T0 = t exactly; the
+	// envelope with α=1±0.01 and α₃=0.001 holds trivially.
+	e := buildEngine(t, []clock.Local{0, 0}, nil, nil)
+	rec := &metrics.ValidityRecorder{
+		Alpha1: 0.99, Alpha2: 1.01, Alpha3: 1e-3,
+		T0: 0, TMin0: 0, TMax0: 0,
+	}
+	e.Observe(rec)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+	if rec.WorstViolation() > 0 {
+		t.Errorf("violation %v on a perfect run", rec.WorstViolation())
+	}
+}
+
+func TestValidityRecorderDetectsViolation(t *testing.T) {
+	// A huge constant correction puts L far above the upper envelope.
+	e := buildEngine(t, []clock.Local{100, 100}, nil, nil)
+	rec := &metrics.ValidityRecorder{
+		Alpha1: 0.99, Alpha2: 1.01, Alpha3: 1e-3,
+		T0: 0, TMin0: 0, TMax0: 0,
+	}
+	e.Observe(rec)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if rec.WorstViolation() < 99 {
+		t.Errorf("violation = %v, want ≈ 100", rec.WorstViolation())
+	}
+}
+
+func TestValidityRecorderFromFilter(t *testing.T) {
+	e := buildEngine(t, []clock.Local{100, 100}, nil, nil)
+	rec := &metrics.ValidityRecorder{
+		Alpha1: 0.99, Alpha2: 1.01, Alpha3: 1e-3,
+		From: 1e9, // beyond the horizon: nothing sampled
+	}
+	e.Observe(rec)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Samples() != 0 || rec.WorstViolation() != 0 {
+		t.Errorf("samples=%d violation=%v, want 0/0", rec.Samples(), rec.WorstViolation())
+	}
+}

@@ -1,0 +1,26 @@
+package metrics
+
+// Canonical annotation tags emitted by the algorithm implementations (core
+// and baselines). Keeping the vocabulary here lets recorders default to it
+// without the measurement layer depending on any particular algorithm.
+const (
+	// TagRoundBegin fires when a process's logical clock reaches its round
+	// mark Tⁱ (value: round index i). The real-time spread of these events
+	// across nonfaulty processes is the measured βᵢ of Theorem 4(c).
+	TagRoundBegin = "round_begin"
+	// TagAdjust fires at each clock update (value: the adjustment applied).
+	TagAdjust = "adj"
+	// TagRoundComplete fires after the update that ends round i (value: i).
+	TagRoundComplete = "round_complete"
+	// TagRejoined fires when a reintegrating process has set its clock
+	// (value: the round index it will first broadcast in).
+	TagRejoined = "rejoined"
+	// TagStartupRound fires when a start-up (§9.2) process begins a round
+	// (value: round index).
+	TagStartupRound = "startup_round"
+)
+
+// NewDefaultRoundRecorder builds a RoundRecorder for the canonical tags.
+func NewDefaultRoundRecorder() *RoundRecorder {
+	return NewRoundRecorder(TagRoundBegin, TagAdjust)
+}

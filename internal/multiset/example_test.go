@@ -1,0 +1,21 @@
+package multiset_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/multiset"
+)
+
+// ExampleFaultTolerantMidpoint shows the paper's averaging function: with
+// f=1, the single Byzantine outlier is trimmed before the midpoint is taken.
+func ExampleFaultTolerantMidpoint() {
+	arrivals := multiset.New(10.1, 10.2, 10.4, 999.0) // 999 is Byzantine
+	av, err := multiset.FaultTolerantMidpoint(arrivals, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(av)
+	// Output:
+	// 10.3
+}

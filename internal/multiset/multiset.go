@@ -1,0 +1,186 @@
+// Package multiset implements the Appendix of the paper: finite multisets of
+// real numbers, the reduce/mid fault-tolerant averaging function, and the
+// x-distance between multisets used in Lemmas 21–24.
+//
+// The function mid(reduce_f(·)) is the heart of the clock synchronization
+// algorithm: reduce discards the f largest and f smallest values (so the
+// survivors lie within the range of the nonfaulty values whenever at most f
+// values are faulty), and mid takes the midpoint of the survivors' range
+// (which halves the error each round).
+package multiset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multiset is a finite collection of real numbers in which the same number
+// may appear more than once. The zero value is the empty multiset. Multisets
+// are immutable after construction.
+type Multiset struct {
+	sorted []float64
+}
+
+// New builds a multiset from the given values. The input slice is copied.
+func New(vals ...float64) Multiset {
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	return Multiset{sorted: s}
+}
+
+// Len returns |U|.
+func (u Multiset) Len() int { return len(u.sorted) }
+
+// Values returns the elements in ascending order. The caller must not modify
+// the returned slice.
+func (u Multiset) Values() []float64 { return u.sorted }
+
+// Min returns the smallest element. It panics on an empty multiset, which is
+// a programmer error: callers guard with Len.
+func (u Multiset) Min() float64 {
+	u.mustNonEmpty("Min")
+	return u.sorted[0]
+}
+
+// Max returns the largest element.
+func (u Multiset) Max() float64 {
+	u.mustNonEmpty("Max")
+	return u.sorted[len(u.sorted)-1]
+}
+
+// Diam returns diam(U) = max(U) − min(U).
+func (u Multiset) Diam() float64 {
+	u.mustNonEmpty("Diam")
+	return u.Max() - u.Min()
+}
+
+// Mid returns the midpoint ½(max(U)+min(U)) — the paper's ordinary averaging
+// function of choice.
+func (u Multiset) Mid() float64 {
+	u.mustNonEmpty("Mid")
+	return (u.Max() + u.Min()) / 2
+}
+
+// Mean returns the arithmetic mean — the alternative averaging function
+// discussed at the end of §7, which converges at rate f/(n−2f).
+func (u Multiset) Mean() float64 {
+	u.mustNonEmpty("Mean")
+	sum := 0.0
+	for _, v := range u.sorted {
+		sum += v
+	}
+	return sum / float64(len(u.sorted))
+}
+
+// DropMin returns s(U): U with one occurrence of its minimum removed.
+func (u Multiset) DropMin() Multiset {
+	u.mustNonEmpty("DropMin")
+	return Multiset{sorted: u.sorted[1:]}
+}
+
+// DropMax returns l(U): U with one occurrence of its maximum removed.
+func (u Multiset) DropMax() Multiset {
+	u.mustNonEmpty("DropMax")
+	return Multiset{sorted: u.sorted[:len(u.sorted)-1]}
+}
+
+// Reduce returns reduce_f(U) = l^f(s^f(U)): U with the f largest and the f
+// smallest elements removed. It returns an error unless |U| ≥ 2f+1.
+func (u Multiset) Reduce(f int) (Multiset, error) {
+	if f < 0 {
+		return Multiset{}, fmt.Errorf("multiset: negative fault bound %d", f)
+	}
+	if len(u.sorted) < 2*f+1 {
+		return Multiset{}, fmt.Errorf("multiset: reduce needs |U| ≥ 2f+1, got |U|=%d f=%d", len(u.sorted), f)
+	}
+	return Multiset{sorted: u.sorted[f : len(u.sorted)-f]}, nil
+}
+
+// MustReduce is Reduce for callers that have already validated sizes.
+func (u Multiset) MustReduce(f int) Multiset {
+	r, err := u.Reduce(f)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add returns U + r, the multiset with r added to every element.
+func (u Multiset) Add(r float64) Multiset {
+	s := make([]float64, len(u.sorted))
+	for i, v := range u.sorted {
+		s[i] = v + r
+	}
+	return Multiset{sorted: s}
+}
+
+// FaultTolerantMidpoint computes mid(reduce_f(U)), the paper's fault-tolerant
+// averaging function.
+func FaultTolerantMidpoint(u Multiset, f int) (float64, error) {
+	r, err := u.Reduce(f)
+	if err != nil {
+		return 0, err
+	}
+	if r.Len() == 0 {
+		return 0, errors.New("multiset: reduce left no elements")
+	}
+	return r.Mid(), nil
+}
+
+// FaultTolerantMean computes mean(reduce_f(U)), the §7 variant.
+func FaultTolerantMean(u Multiset, f int) (float64, error) {
+	r, err := u.Reduce(f)
+	if err != nil {
+		return 0, err
+	}
+	if r.Len() == 0 {
+		return 0, errors.New("multiset: reduce left no elements")
+	}
+	return r.Mean(), nil
+}
+
+// DistX returns d_x(U, V), the x-distance between U and V: the minimum over
+// injections c: U→V of the number of elements u with |u − c(u)| > x. It
+// requires |U| ≤ |V|.
+//
+// Equivalently |U| minus the maximum number of x-paired elements. Because the
+// compatibility relation |u−v| ≤ x over two sorted sequences forms an
+// interval bigraph, a greedy sweep over sorted values yields a maximum
+// matching (classic two-pointer argument; verified against brute force in
+// tests).
+func DistX(u, v Multiset, x float64) (int, error) {
+	if u.Len() > v.Len() {
+		return 0, fmt.Errorf("multiset: DistX needs |U| ≤ |V|, got %d > %d", u.Len(), v.Len())
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("multiset: negative x %v", x)
+	}
+	matched := 0
+	j := 0
+	for i := 0; i < u.Len(); i++ {
+		// Advance past v-elements too small to pair with u[i]; they can
+		// only be worse for later (larger) u-elements.
+		for j < v.Len() && v.sorted[j] < u.sorted[i]-x {
+			j++
+		}
+		if j < v.Len() && math.Abs(u.sorted[i]-v.sorted[j]) <= x {
+			matched++
+			j++
+		}
+	}
+	return u.Len() - matched, nil
+}
+
+func (u Multiset) mustNonEmpty(op string) {
+	if len(u.sorted) == 0 {
+		panic("multiset: " + op + " on empty multiset")
+	}
+}
+
+// String renders the multiset for diagnostics.
+func (u Multiset) String() string {
+	return fmt.Sprintf("%v", u.sorted)
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/clock"
+)
+
+// DelayModel realizes assumption A3: every message delay lies in [δ−ε, δ+ε].
+// Implementations must be deterministic given the rng stream so runs are
+// reproducible.
+type DelayModel interface {
+	// Sample returns the delay for one message copy.
+	Sample(from, to ProcID, at clock.Real, rng *rand.Rand) float64
+	// Bounds returns (δ, ε).
+	Bounds() (delta, eps float64)
+}
+
+// ConstantDelay delivers every message in exactly δ (ε = 0) — the idealized
+// network in which the algorithm's estimator ARR−(T+δ) is exact.
+type ConstantDelay struct {
+	Delta float64
+}
+
+var _ DelayModel = ConstantDelay{}
+
+// Sample implements DelayModel.
+func (d ConstantDelay) Sample(_, _ ProcID, _ clock.Real, _ *rand.Rand) float64 { return d.Delta }
+
+// Bounds implements DelayModel.
+func (d ConstantDelay) Bounds() (float64, float64) { return d.Delta, 0 }
+
+// UniformDelay draws each delay uniformly from [δ−ε, δ+ε], the standard
+// benign model.
+type UniformDelay struct {
+	Delta float64
+	Eps   float64
+}
+
+var _ DelayModel = UniformDelay{}
+
+// Sample implements DelayModel.
+func (d UniformDelay) Sample(_, _ ProcID, _ clock.Real, rng *rand.Rand) float64 {
+	return d.Delta - d.Eps + 2*d.Eps*rng.Float64()
+}
+
+// Bounds implements DelayModel.
+func (d UniformDelay) Bounds() (float64, float64) { return d.Delta, d.Eps }
+
+// ExtremalDelay is the adversarial network: every delay is pinned to one end
+// of the band depending on the recipient, which maximizes the error of the
+// arrival-time estimator (the ±ε term of Lemma 5). With SlowTo selecting
+// half the processes, it drives executions toward the 4ε skew floor.
+type ExtremalDelay struct {
+	Delta float64
+	Eps   float64
+	// SlowTo reports whether messages *to* q take δ+ε (otherwise δ−ε).
+	// A nil SlowTo slows the upper half of the id space.
+	SlowTo func(from, to ProcID) bool
+}
+
+var _ DelayModel = ExtremalDelay{}
+
+// Sample implements DelayModel.
+func (d ExtremalDelay) Sample(from, to ProcID, _ clock.Real, _ *rand.Rand) float64 {
+	slow := false
+	if d.SlowTo != nil {
+		slow = d.SlowTo(from, to)
+	} else {
+		slow = int(to)%2 == 1
+	}
+	if slow {
+		return d.Delta + d.Eps
+	}
+	return d.Delta - d.Eps
+}
+
+// Bounds implements DelayModel.
+func (d ExtremalDelay) Bounds() (float64, float64) { return d.Delta, d.Eps }
+
+// PerLinkDelay gives each ordered link (p,q) a fixed delay in [δ−ε, δ+ε],
+// deterministically derived from the seed — a network with stable asymmetric
+// latencies, the hardest benign case for validity.
+type PerLinkDelay struct {
+	Delta float64
+	Eps   float64
+	Seed  int64
+}
+
+var _ DelayModel = PerLinkDelay{}
+
+// Sample implements DelayModel.
+func (d PerLinkDelay) Sample(from, to ProcID, _ clock.Real, _ *rand.Rand) float64 {
+	h := uint64(d.Seed)*0x9E3779B97F4A7C15 + uint64(from)*0xBF58476D1CE4E5B9 + uint64(to)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 29
+	frac := float64(h%(1<<52)) / float64(uint64(1)<<52)
+	return d.Delta - d.Eps + 2*d.Eps*frac
+}
+
+// Bounds implements DelayModel.
+func (d PerLinkDelay) Bounds() (float64, float64) { return d.Delta, d.Eps }
+
+// FullMesh is the reliable fully connected channel: every copy is delivered
+// at sentAt + delay.
+type FullMesh struct{}
+
+var _ Channel = FullMesh{}
+
+// Route implements Channel.
+func (FullMesh) Route(_, _ ProcID, sentAt clock.Real, baseDelay float64) (clock.Real, bool) {
+	return sentAt + clock.Real(baseDelay), true
+}

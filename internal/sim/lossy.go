@@ -1,0 +1,45 @@
+package sim
+
+import "repro/internal/clock"
+
+// LossyLinks is a channel that permanently drops all traffic on a configured
+// set of directed links — the link-failure model of [HSSD] (§10 of the
+// paper: their algorithm "can tolerate any number of process and link
+// failures as long as the nonfaulty processes can still communicate").
+// Loopback never fails.
+type LossyLinks struct {
+	// Dead holds the failed directed links.
+	Dead map[Link]bool
+}
+
+// Link is a directed process pair.
+type Link struct {
+	From, To ProcID
+}
+
+var _ Channel = LossyLinks{}
+
+// NewLossyLinks builds a channel with the given failed directed links. Pass
+// pairs as (from, to); use BreakBothWays for symmetric failures.
+func NewLossyLinks(links ...Link) LossyLinks {
+	dead := make(map[Link]bool, len(links))
+	for _, l := range links {
+		dead[l] = true
+	}
+	return LossyLinks{Dead: dead}
+}
+
+// BreakBothWays marks both directions of a link failed.
+func (c LossyLinks) BreakBothWays(a, b ProcID) LossyLinks {
+	c.Dead[Link{From: a, To: b}] = true
+	c.Dead[Link{From: b, To: a}] = true
+	return c
+}
+
+// Route implements Channel.
+func (c LossyLinks) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (clock.Real, bool) {
+	if from != to && c.Dead[Link{From: from, To: to}] {
+		return 0, false
+	}
+	return sentAt + clock.Real(baseDelay), true
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "container/heap"
+
+// event is a buffered message plus a sequence number for stable ordering.
+type event struct {
+	msg Message
+	seq uint64
+}
+
+// eventQueue orders events by delivery time; at equal times, ordinary (and
+// START) messages precede TIMER messages — execution property 4 of §2.3
+// ("messages that arrive at the same time as a timer is due to go off get in
+// just under the wire") — and ties beyond that break by insertion order.
+type eventQueue struct {
+	items []event
+}
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.msg.DeliverAt != b.msg.DeliverAt {
+		return a.msg.DeliverAt < b.msg.DeliverAt
+	}
+	at, bt := a.msg.Kind == KindTimer, b.msg.Kind == KindTimer
+	if at != bt {
+		return !at // non-TIMER first
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// push enqueues a message with the next sequence number.
+func (e *Engine) push(m Message) {
+	heap.Push(&e.queue, event{msg: m, seq: e.seq})
+	e.seq++
+}
+
+// peek returns the next message without removing it.
+func (e *Engine) peek() (Message, bool) {
+	if e.queue.Len() == 0 {
+		return Message{}, false
+	}
+	return e.queue.items[0].msg, true
+}
+
+// pop removes and returns the next message.
+func (e *Engine) pop() Message {
+	return heap.Pop(&e.queue).(event).msg
+}

@@ -1,0 +1,393 @@
+// Package sim implements the system model of §2 of the paper: a set of
+// interrupt-driven process automata with read-only physical clocks,
+// communicating through a global message buffer that delivers every message
+// within [δ−ε, δ+ε] real time.
+//
+// The engine reproduces the execution properties of §2.3 literally:
+//
+//  1. finitely many actions before any fixed real time (guaranteed by the
+//     event queue plus a step limit),
+//  2. executions begin from initial process and buffer states (only START
+//     messages are pending initially),
+//  3. configurations match up (single-threaded event loop),
+//  4. TIMER messages that arrive at real time t are ordered after ordinary
+//     messages for the same process arriving at t,
+//  5. a receive occurs exactly when the buffer holds a message with that
+//     delivery time,
+//  6. only the recipient's state and the buffer change at a step; nonfaulty
+//     steps follow the transition function (here: Process.Receive).
+//
+// Setting a timer for a physical-clock value T places a TIMER message with
+// delivery time Ph⁻¹(T) in the buffer, unless that real time has passed, in
+// which case nothing is placed (§2.2).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/clock"
+)
+
+// ProcID identifies a process, 0 ≤ id < n.
+type ProcID int
+
+// Kind distinguishes the three interrupt sources of the model (§2.1).
+type Kind uint8
+
+// Message kinds. START indicates the recipient should begin its algorithm;
+// TIMER is received when the recipient's physical clock reaches a designated
+// value; everything else is an ordinary message.
+const (
+	KindOrdinary Kind = iota + 1
+	KindStart
+	KindTimer
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOrdinary:
+		return "ORDINARY"
+	case KindStart:
+		return "START"
+	case KindTimer:
+		return "TIMER"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is an entry of the global message buffer together with its
+// scheduled delivery time.
+type Message struct {
+	From      ProcID
+	To        ProcID
+	Kind      Kind
+	Payload   any
+	SentAt    clock.Real
+	DeliverAt clock.Real
+}
+
+// Annotation is a measurement emitted by a process and timestamped with real
+// time by the engine; experiments derive the paper's quantities (tᵢ spreads,
+// ADJ sizes, …) from annotations.
+type Annotation struct {
+	At    clock.Real
+	Proc  ProcID
+	Tag   string
+	Value float64
+}
+
+// Process is an automaton in the sense of §2.1: its entire behavior is a
+// transition function invoked once per received message. Nonfaulty processes
+// must interact with the system only through the Context. Faulty processes
+// implement the same interface but may behave arbitrarily.
+type Process interface {
+	Receive(ctx *Context, msg Message)
+}
+
+// CorrHolder is implemented by processes whose local time is Ph + CORR; it
+// lets the engine (and metrics) evaluate L_p(t) without touching process
+// internals.
+type CorrHolder interface {
+	Corr() clock.Local
+}
+
+// Observer receives engine callbacks. Sample is called twice per action —
+// immediately before the configuration changes and immediately after — which
+// brackets every linear segment of every local-time function, so a sampling
+// observer sees the exact extremes of piecewise-linear quantities such as
+// pairwise skew.
+type Observer interface {
+	Sample(e *Engine, preDeliver bool)
+	OnAnnotation(e *Engine, a Annotation)
+}
+
+// DeliveryObserver is an optional extension of Observer: implementations
+// additionally receive every delivered message (used by the execution
+// tracer). Checked dynamically so existing observers need not implement it.
+type DeliveryObserver interface {
+	OnDeliver(e *Engine, m Message)
+}
+
+// Channel decides, per message copy, its delivery time or its loss. The
+// default full-mesh channel is reliable; the Ethernet-like channel of §9.3
+// drops copies that collide at a receiver.
+type Channel interface {
+	// Route maps a sampled base delay to a delivery time, or reports the
+	// copy lost.
+	Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (clock.Real, bool)
+}
+
+// Config assembles a system of processes with clocks (§2.1).
+type Config struct {
+	Procs   []Process     // one automaton per process
+	Clocks  []clock.Clock // physical clocks, same length as Procs
+	StartAt []clock.Real  // real delivery time of each START message
+	Delay   DelayModel    // message delay model (A3)
+	Channel Channel       // nil means reliable full mesh
+	Faulty  []bool        // which processes count as faulty (metrics only)
+	Seed    int64         // seed for delay sampling
+	// MaxSteps bounds the number of delivered messages; 0 means a large
+	// default. Guards against runaway (e.g. adversarial) executions.
+	MaxSteps int
+}
+
+// Engine executes a system configuration event by event.
+type Engine struct {
+	procs    []Process
+	clocks   []clock.Clock
+	faulty   []bool
+	delay    DelayModel
+	channel  Channel
+	rng      *rand.Rand
+	queue    eventQueue
+	now      clock.Real
+	seq      uint64
+	steps    int
+	maxSteps int
+	obs      []Observer
+
+	msgsSent     int64 // ordinary message copies scheduled
+	msgsLost     int64 // copies dropped by the channel
+	timersSet    int64
+	timersLapsed int64 // timers requested for the past (dropped per §2.2)
+}
+
+const defaultMaxSteps = 10_000_000
+
+// New validates the configuration and builds an engine with the START
+// messages pending, matching the initial buffer state of §2.2.
+func New(cfg Config) (*Engine, error) {
+	n := len(cfg.Procs)
+	if n == 0 {
+		return nil, errors.New("sim: no processes")
+	}
+	if len(cfg.Clocks) != n {
+		return nil, fmt.Errorf("sim: %d clocks for %d processes", len(cfg.Clocks), n)
+	}
+	if len(cfg.StartAt) != n {
+		return nil, fmt.Errorf("sim: %d start times for %d processes", len(cfg.StartAt), n)
+	}
+	if cfg.Faulty != nil && len(cfg.Faulty) != n {
+		return nil, fmt.Errorf("sim: %d faulty flags for %d processes", len(cfg.Faulty), n)
+	}
+	for i, p := range cfg.Procs {
+		if p == nil {
+			return nil, fmt.Errorf("sim: process %d is nil", i)
+		}
+		if cfg.Clocks[i] == nil {
+			return nil, fmt.Errorf("sim: clock %d is nil", i)
+		}
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		return nil, errors.New("sim: nil delay model")
+	}
+	if d, e := delay.Bounds(); d < e || e < 0 || d-e < 0 {
+		return nil, fmt.Errorf("sim: delay bounds δ=%v ε=%v violate assumption A3 (0 ≤ δ−ε, ε ≥ 0)", d, e)
+	}
+	ch := cfg.Channel
+	if ch == nil {
+		ch = FullMesh{}
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make([]bool, n)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	e := &Engine{
+		procs:    cfg.Procs,
+		clocks:   cfg.Clocks,
+		faulty:   faulty,
+		delay:    delay,
+		channel:  ch,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		maxSteps: maxSteps,
+	}
+	for i := 0; i < n; i++ {
+		e.push(Message{
+			From:      ProcID(i),
+			To:        ProcID(i),
+			Kind:      KindStart,
+			SentAt:    cfg.StartAt[i],
+			DeliverAt: cfg.StartAt[i],
+		})
+	}
+	return e, nil
+}
+
+// Observe registers an observer. Must be called before Run.
+func (e *Engine) Observe(o Observer) { e.obs = append(e.obs, o) }
+
+// N returns the number of processes.
+func (e *Engine) N() int { return len(e.procs) }
+
+// Now returns the current real time (the delivery time of the last action).
+func (e *Engine) Now() clock.Real { return e.now }
+
+// Steps returns the number of delivered messages so far.
+func (e *Engine) Steps() int { return e.steps }
+
+// MessagesSent returns the count of ordinary message copies scheduled so far
+// (the paper's per-round message complexity derives from this).
+func (e *Engine) MessagesSent() int64 { return e.msgsSent }
+
+// MessagesLost returns copies dropped by the channel (nonzero only for lossy
+// channels such as the §9.3 Ethernet model).
+func (e *Engine) MessagesLost() int64 { return e.msgsLost }
+
+// TimersLapsed returns how many set-timer calls named a time already past.
+func (e *Engine) TimersLapsed() int64 { return e.timersLapsed }
+
+// Faulty reports whether p is marked faulty in the configuration.
+func (e *Engine) Faulty(p ProcID) bool { return e.faulty[p] }
+
+// NonfaultyIDs returns the ids of processes not marked faulty.
+func (e *Engine) NonfaultyIDs() []ProcID {
+	ids := make([]ProcID, 0, len(e.procs))
+	for i := range e.procs {
+		if !e.faulty[i] {
+			ids = append(ids, ProcID(i))
+		}
+	}
+	return ids
+}
+
+// PhysTime returns Ph_p(t).
+func (e *Engine) PhysTime(p ProcID, t clock.Real) clock.Local {
+	return e.clocks[p].At(t)
+}
+
+// LocalTime returns L_p(t) = Ph_p(t) + CORR_p for the process's current CORR
+// value. ok is false if the process does not expose a correction variable.
+func (e *Engine) LocalTime(p ProcID, t clock.Real) (clock.Local, bool) {
+	ch, ok := e.procs[p].(CorrHolder)
+	if !ok {
+		return 0, false
+	}
+	return e.clocks[p].At(t) + ch.Corr(), true
+}
+
+// Process returns the automaton of p (used by tests and metrics).
+func (e *Engine) Process(p ProcID) Process { return e.procs[p] }
+
+// Run processes events in delivery order until the queue empties, real time
+// would exceed until, or the step limit is hit (an error). It may be called
+// repeatedly with increasing horizons.
+func (e *Engine) Run(until clock.Real) error {
+	for {
+		m, ok := e.peek()
+		if !ok || m.DeliverAt > until {
+			// Advance the clock to the horizon so metrics sampled at
+			// e.Now() reflect the full interval.
+			if e.now < until {
+				e.now = until
+				e.sample(true)
+			}
+			return nil
+		}
+		if e.steps >= e.maxSteps {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxSteps, e.now)
+		}
+		e.pop()
+		e.now = m.DeliverAt
+		e.steps++
+		e.sample(true) // configuration immediately before the action
+		for _, o := range e.obs {
+			if d, ok := o.(DeliveryObserver); ok {
+				d.OnDeliver(e, m)
+			}
+		}
+		ctx := &Context{eng: e, pid: m.To}
+		e.procs[m.To].Receive(ctx, m)
+		e.sample(false) // configuration immediately after the action
+	}
+}
+
+func (e *Engine) sample(pre bool) {
+	for _, o := range e.obs {
+		o.Sample(e, pre)
+	}
+}
+
+func (e *Engine) annotate(p ProcID, tag string, v float64) {
+	a := Annotation{At: e.now, Proc: p, Tag: tag, Value: v}
+	for _, o := range e.obs {
+		o.OnAnnotation(e, a)
+	}
+}
+
+// send schedules one ordinary message copy.
+func (e *Engine) send(from, to ProcID, payload any) {
+	base := e.delay.Sample(from, to, e.now, e.rng)
+	at, ok := e.channel.Route(from, to, e.now, base)
+	if !ok {
+		e.msgsLost++
+		return
+	}
+	e.msgsSent++
+	e.push(Message{From: from, To: to, Kind: KindOrdinary, Payload: payload, SentAt: e.now, DeliverAt: at})
+}
+
+// setTimer places a TIMER for process p at physical-clock time T, i.e. real
+// time Ph_p⁻¹(T); a timer for the past is dropped (§2.2).
+func (e *Engine) setTimer(p ProcID, T clock.Local, payload any) {
+	at := e.clocks[p].Inv(T)
+	if at <= e.now {
+		e.timersLapsed++
+		return
+	}
+	e.timersSet++
+	e.push(Message{From: p, To: p, Kind: KindTimer, Payload: payload, SentAt: e.now, DeliverAt: at})
+}
+
+// Context is the interface a process step has to the system: its identity,
+// its physical clock reading, and the actions the model allows (send,
+// broadcast, set a timer). A Context is valid only for the duration of the
+// Receive call it was passed to.
+type Context struct {
+	eng *Engine
+	pid ProcID
+}
+
+// ID returns the process's own id.
+func (c *Context) ID() ProcID { return c.pid }
+
+// N returns the total number of processes in the system.
+func (c *Context) N() int { return len(c.eng.procs) }
+
+// PhysNow returns the process's physical clock reading Ph_p(t) at the current
+// instant. Processes never see real time.
+func (c *Context) PhysNow() clock.Local { return c.eng.clocks[c.pid].At(c.eng.now) }
+
+// Send places an ordinary message to q in the buffer.
+func (c *Context) Send(to ProcID, payload any) { c.eng.send(c.pid, to, payload) }
+
+// Broadcast sends the payload to every process, including the sender (§2.2:
+// every process can communicate with every process, including itself). Each
+// copy's delay is drawn independently within [δ−ε, δ+ε].
+func (c *Context) Broadcast(payload any) {
+	for q := range c.eng.procs {
+		c.eng.send(c.pid, ProcID(q), payload)
+	}
+}
+
+// SetTimer requests a TIMER interrupt when the process's physical clock
+// reaches T. The payload is returned in the TIMER message.
+func (c *Context) SetTimer(T clock.Local, payload any) { c.eng.setTimer(c.pid, T, payload) }
+
+// Annotate emits a measurement observers can timestamp with real time.
+func (c *Context) Annotate(tag string, v float64) { c.eng.annotate(c.pid, tag, v) }
+
+// Rand returns a deterministic per-process random source (used by randomized
+// fault strategies; nonfaulty algorithms in this repository are
+// deterministic and never call it).
+func (c *Context) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(int64(c.pid)*7_919 + int64(c.eng.steps)))
+}
