@@ -6,6 +6,7 @@
 package clocksync_test
 
 import (
+	"flag"
 	"math/rand"
 	"testing"
 
@@ -15,13 +16,22 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/exp/runner"
 	"repro/internal/multiset"
 	"repro/internal/sim"
 )
 
-// benchExperiment runs a registered experiment once per iteration.
+// -workers sizes the sweep runner's worker pool for the experiment
+// benchmarks: `go test -bench=Experiment -workers=1` measures the serial
+// baseline, the default (GOMAXPROCS) measures the parallel speedup.
+var workersFlag = flag.Int("workers", 0, "sweep worker pool size for experiment benchmarks (0 = GOMAXPROCS)")
+
+// benchExperiment runs a registered experiment once per iteration on a
+// worker pool of -workers goroutines.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	runner.SetDefaultWorkers(*workersFlag)
+	defer runner.SetDefaultWorkers(0)
 	e, err := exp.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -34,22 +44,22 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkE01Halving(b *testing.B)         { benchExperiment(b, "E01") }
-func BenchmarkE02Agreement(b *testing.B)       { benchExperiment(b, "E02") }
-func BenchmarkE03Adjustment(b *testing.B)      { benchExperiment(b, "E03") }
-func BenchmarkE04Validity(b *testing.B)        { benchExperiment(b, "E04") }
-func BenchmarkE05FaultSweep(b *testing.B)      { benchExperiment(b, "E05") }
-func BenchmarkE06Startup(b *testing.B)         { benchExperiment(b, "E06") }
-func BenchmarkE07Reintegration(b *testing.B)   { benchExperiment(b, "E07") }
-func BenchmarkE08Comparison(b *testing.B)      { benchExperiment(b, "E08") }
-func BenchmarkE09MeanMid(b *testing.B)         { benchExperiment(b, "E09") }
-func BenchmarkE10KExchange(b *testing.B)       { benchExperiment(b, "E10") }
-func BenchmarkE11Stagger(b *testing.B)         { benchExperiment(b, "E11") }
-func BenchmarkE12Degradation(b *testing.B)     { benchExperiment(b, "E12") }
-func BenchmarkE13EpsSweep(b *testing.B)        { benchExperiment(b, "E13") }
-func BenchmarkE14ApproxAgreement(b *testing.B) { benchExperiment(b, "E14") }
-func BenchmarkE15Lifecycle(b *testing.B)       { benchExperiment(b, "E15") }
-func BenchmarkE16Ablation(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkExperimentE01Halving(b *testing.B)         { benchExperiment(b, "E01") }
+func BenchmarkExperimentE02Agreement(b *testing.B)       { benchExperiment(b, "E02") }
+func BenchmarkExperimentE03Adjustment(b *testing.B)      { benchExperiment(b, "E03") }
+func BenchmarkExperimentE04Validity(b *testing.B)        { benchExperiment(b, "E04") }
+func BenchmarkExperimentE05FaultSweep(b *testing.B)      { benchExperiment(b, "E05") }
+func BenchmarkExperimentE06Startup(b *testing.B)         { benchExperiment(b, "E06") }
+func BenchmarkExperimentE07Reintegration(b *testing.B)   { benchExperiment(b, "E07") }
+func BenchmarkExperimentE08Comparison(b *testing.B)      { benchExperiment(b, "E08") }
+func BenchmarkExperimentE09MeanMid(b *testing.B)         { benchExperiment(b, "E09") }
+func BenchmarkExperimentE10KExchange(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkExperimentE11Stagger(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkExperimentE12Degradation(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkExperimentE13EpsSweep(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkExperimentE14ApproxAgreement(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkExperimentE15Lifecycle(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkExperimentE16Ablation(b *testing.B)        { benchExperiment(b, "E16") }
 
 // BenchmarkMaintenanceRound measures the end-to-end simulation cost per
 // synchronization round at several system sizes.

@@ -7,6 +7,11 @@
 //	experiments -run E08   # run one experiment
 //	experiments -list      # list experiments
 //	experiments -md        # emit markdown instead of aligned text
+//	experiments -workers 1 # force serial sweeps (default: GOMAXPROCS)
+//
+// Each experiment's independent simulation workloads fan out across a
+// worker pool (internal/exp/runner); tables are byte-identical for any
+// worker count, so -workers only changes wall-clock time.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/exp/runner"
 )
 
 func main() {
@@ -22,8 +28,10 @@ func main() {
 		runID    = flag.String("run", "", "run only the experiment with this id (e.g. E03)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("md", false, "render tables as markdown")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	runner.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, e := range exp.All() {

@@ -6,15 +6,23 @@
 //
 //	wlsim -n 7 -f 2 -rounds 20 -rho 1e-5 -delta 10ms -eps 1ms -p 1s
 //	wlsim -n 10 -f 3 -faults two-faced -adversarial
+//	wlsim -n 7 -f 2 -trials 32 -workers 4   # seed sweep on a worker pool
+//
+// With -trials > 1 the same configuration runs across that many seeds
+// (derived deterministically from -seed, so results do not depend on
+// -workers) and a per-trial table plus min/median/max summary is printed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	clocksync "repro"
+	"repro/internal/exp"
+	"repro/internal/exp/runner"
 )
 
 func main() {
@@ -36,10 +44,16 @@ func main() {
 		startup  = flag.Bool("startup", false, "run the §9.2 establishment algorithm instead")
 		trace    = flag.Int("trace", 0, "print the first N actions of the execution log")
 		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
+		trials   = flag.Int("trials", 1, "run this many derived-seed trials of the same configuration")
+		workers  = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	runner.SetDefaultWorkers(*workers)
 
 	if *startup {
+		if *trials > 1 {
+			exitOn(fmt.Errorf("wlsim: -trials is only supported in maintenance mode, not with -startup"))
+		}
 		rep, err := clocksync.RunStartup(*n, *f, *spread, *rounds,
 			clocksync.WithRho(*rho),
 			clocksync.WithDelay(delta.Seconds(), eps.Seconds()),
@@ -82,6 +96,14 @@ func main() {
 		}
 	}
 
+	if *trials > 1 {
+		if *trace > 0 {
+			exitOn(fmt.Errorf("wlsim: -trace is only supported for a single run, not with -trials"))
+		}
+		exitOn(runTrials(*n, *f, *rounds, *trials, *seed, opts))
+		return
+	}
+
 	c, err := clocksync.New(*n, *f, opts...)
 	exitOn(err)
 	rep, err := c.Run(*rounds)
@@ -91,6 +113,69 @@ func main() {
 		fmt.Println("\nexecution trace:")
 		fmt.Print(rep.Trace)
 	}
+}
+
+// runTrials fans `trials` runs of the same configuration out across the
+// worker pool, each with a seed derived from (base, trial) so the sweep is
+// reproducible regardless of worker count, and prints per-trial rows plus a
+// min/median/max summary of the steady skew.
+func runTrials(n, f, rounds, trials int, base int64, opts []clocksync.Option) error {
+	// Derive all seeds up front: the table's seed column must show the
+	// exact value each trial ran with.
+	seeds := make([]int64, trials)
+	for i := range seeds {
+		seeds[i] = runner.DeriveSeed(base, i)
+	}
+	reps, err := runner.Map(0, trials, func(i int) (*clocksync.Report, error) {
+		trialOpts := append(append([]clocksync.Option{}, opts...),
+			clocksync.WithSeed(seeds[i]))
+		c, err := clocksync.New(n, f, trialOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		rep, err := c.Run(rounds)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &exp.Table{
+		ID:       "TRIALS",
+		Title:    fmt.Sprintf("%d derived-seed trials (n=%d, f=%d, %d rounds)", trials, n, f, rounds),
+		PaperRef: "Theorem 16",
+		Columns:  []string{"trial", "seed", "steady skew", "max skew", "max |ADJ|", "agreement", "validity"},
+	}
+	steady := make([]float64, 0, trials)
+	worstSkew, gamma := 0.0, 0.0
+	for i, rep := range reps {
+		steady = append(steady, rep.SteadySkew)
+		if rep.MaxSkew > worstSkew {
+			worstSkew = rep.MaxSkew
+		}
+		gamma = rep.Gamma
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", seeds[i]),
+			exp.FmtDur(rep.SteadySkew), exp.FmtDur(rep.MaxSkew), exp.FmtDur(rep.MaxAdjustment),
+			exp.Verdict(rep.AgreementHolds()), exp.Verdict(rep.ValidityHolds()))
+	}
+	sort.Float64s(steady)
+	t.AddNote("steady skew min %s / median %s / max %s; worst max skew %s vs γ %s",
+		exp.FmtDur(steady[0]), exp.FmtDur(median(steady)), exp.FmtDur(steady[len(steady)-1]),
+		exp.FmtDur(worstSkew), exp.FmtDur(gamma))
+	t.Render(os.Stdout)
+	return nil
+}
+
+// median of a sorted non-empty slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 func parseFault(s string) (clocksync.FaultKind, error) {

@@ -17,6 +17,8 @@ func init() {
 // runE01 starts the clocks far apart (but within the window) and tracks the
 // measured per-round spread βᵢ of round beginnings. The paper predicts
 // βᵢ₊₁ ≈ βᵢ/2 + 2ε + 2ρP, converging to a floor of about 4ε + 4ρP.
+// A single execution: the per-round halving is one trajectory, so there is
+// nothing to fan out.
 func runE01() ([]*Table, error) {
 	cfg := core.Config{Params: analysis.Default(7, 2)}
 	res, err := Run(Workload{Cfg: cfg, Rounds: 14, InitialSpread: 8e-3, Seed: 11})

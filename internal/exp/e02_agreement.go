@@ -37,26 +37,33 @@ func runE02() ([]*Table, error) {
 		PaperRef: "Theorem 16",
 		Columns:  []string{"regime", "ρ", "δ", "ε", "P", "β", "paper γ", "measured", "ratio", "holds"},
 	}
-	for _, r := range regimes {
-		params := analysis.Params{
-			N: 7, F: 2,
-			Rho: r.rho, Delta: r.delta, Eps: r.eps, P: r.p,
-			// β chosen just above its feasibility floor for the regime.
-			Beta: 4*r.eps + 4*r.rho*r.p + r.eps/2 + 1e-4,
-		}
-		if err := params.Validate(); err != nil {
-			return nil, fmt.Errorf("E02 %s: %w", r.name, err)
-		}
-		cfg := core.Config{Params: params}
-		res, err := Run(Workload{Cfg: cfg, Rounds: 15, Seed: 5})
-		if err != nil {
-			return nil, err
-		}
-		gamma := params.Gamma()
-		meas := res.Skew.Max()
-		t.AddRow(r.name,
-			fmt.Sprintf("%.0e", r.rho), FmtDur(r.delta), FmtDur(r.eps), FmtDur(r.p), FmtDur(params.Beta),
-			FmtDur(gamma), FmtDur(meas), FmtRatio(meas/gamma), Verdict(meas <= gamma))
+	sweep := Sweep[regime]{
+		Name:   "E02",
+		Params: regimes,
+		Build: func(r regime) (Workload, error) {
+			params := analysis.Params{
+				N: 7, F: 2,
+				Rho: r.rho, Delta: r.delta, Eps: r.eps, P: r.p,
+				// β chosen just above its feasibility floor for the regime.
+				Beta: 4*r.eps + 4*r.rho*r.p + r.eps/2 + 1e-4,
+			}
+			if err := params.Validate(); err != nil {
+				return Workload{}, fmt.Errorf("%s: %w", r.name, err)
+			}
+			return Workload{Cfg: core.Config{Params: params}, Rounds: 15, Seed: 5}, nil
+		},
+		Each: func(r regime, w Workload, res *Result) error {
+			params := w.Cfg.Params
+			gamma := params.Gamma()
+			meas := res.Skew.Max()
+			t.AddRow(r.name,
+				fmt.Sprintf("%.0e", r.rho), FmtDur(r.delta), FmtDur(r.eps), FmtDur(r.p), FmtDur(params.Beta),
+				FmtDur(gamma), FmtDur(meas), FmtRatio(meas/gamma), Verdict(meas <= gamma))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("measured/γ well below 1 is expected: γ is a worst-case bound over all executions")
 	return []*Table{t}, nil

@@ -28,22 +28,29 @@ func runE03() ([]*Table, error) {
 		PaperRef: "Thm 4(a)",
 		Columns:  []string{"delay model", "paper bound", "measured max |ADJ|", "ratio", "holds"},
 	}
-	models := []struct {
+	type model struct {
 		name  string
 		delay sim.DelayModel
-	}{
-		{"uniform [δ−ε, δ+ε]", sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps}},
-		{"constant δ", sim.ConstantDelay{Delta: cfg.Delta}},
-		{"adversarial extremes", sim.ExtremalDelay{Delta: cfg.Delta, Eps: cfg.Eps}},
-		{"fixed per-link bias", sim.PerLinkDelay{Delta: cfg.Delta, Eps: cfg.Eps, Seed: 9}},
 	}
-	for _, m := range models {
-		res, err := Run(Workload{Cfg: cfg, Rounds: 15, Delay: m.delay, Seed: 7})
-		if err != nil {
-			return nil, err
-		}
-		meas := res.Rounds.MaxAbsAdj(0)
-		t.AddRow(m.name, FmtDur(bound), FmtDur(meas), FmtRatio(meas/bound), Verdict(meas <= bound))
+	sweep := Sweep[model]{
+		Name: "E03",
+		Params: []model{
+			{"uniform [δ−ε, δ+ε]", sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps}},
+			{"constant δ", sim.ConstantDelay{Delta: cfg.Delta}},
+			{"adversarial extremes", sim.ExtremalDelay{Delta: cfg.Delta, Eps: cfg.Eps}},
+			{"fixed per-link bias", sim.PerLinkDelay{Delta: cfg.Delta, Eps: cfg.Eps, Seed: 9}},
+		},
+		Build: func(m model) (Workload, error) {
+			return Workload{Cfg: cfg, Rounds: 15, Delay: m.delay, Seed: 7}, nil
+		},
+		Each: func(m model, _ Workload, res *Result) error {
+			meas := res.Rounds.MaxAbsAdj(0)
+			t.AddRow(m.name, FmtDur(bound), FmtDur(meas), FmtRatio(meas/bound), Verdict(meas <= bound))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("bound (1+ρ)(β+ε)+ρδ = %s ≈ 5ε+β-ish; §10 quotes ≈5ε for β≈4ε", FmtDur(bound))
 	return []*Table{t}, nil

@@ -29,21 +29,28 @@ func runE04() ([]*Table, error) {
 		PaperRef: "Thm 19",
 		Columns:  []string{"drift schedule", "samples", "worst violation", "holds"},
 	}
-	schedules := []struct {
+	type schedule struct {
 		name  string
 		drift clock.DriftSchedule
-	}{
-		{"constant extremes", clock.ConstantDrift{RhoBound: cfg.Rho}},
-		{"random walk", clock.RandomWalkDrift{RhoBound: cfg.Rho, SegmentDur: 3, Horizon: 120, Seed: 21}},
-		{"alternating antiphase", clock.AlternatingDrift{RhoBound: cfg.Rho, Period: 2, Horizon: 120}},
 	}
-	for _, s := range schedules {
-		res, err := Run(Workload{Cfg: cfg, Rounds: 40, Drift: s.drift, Seed: 13})
-		if err != nil {
-			return nil, err
-		}
-		v := res.Validity.WorstViolation()
-		t.AddRow(s.name, fmtInt(res.Validity.Samples()), FmtDur(v), Verdict(v <= 0))
+	sweep := Sweep[schedule]{
+		Name: "E04",
+		Params: []schedule{
+			{"constant extremes", clock.ConstantDrift{RhoBound: cfg.Rho}},
+			{"random walk", clock.RandomWalkDrift{RhoBound: cfg.Rho, SegmentDur: 3, Horizon: 120, Seed: 21}},
+			{"alternating antiphase", clock.AlternatingDrift{RhoBound: cfg.Rho, Period: 2, Horizon: 120}},
+		},
+		Build: func(s schedule) (Workload, error) {
+			return Workload{Cfg: cfg, Rounds: 40, Drift: s.drift, Seed: 13}, nil
+		},
+		Each: func(s schedule, _ Workload, res *Result) error {
+			v := res.Validity.WorstViolation()
+			t.AddRow(s.name, fmtInt(res.Validity.Samples()), FmtDur(v), Verdict(v <= 0))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("α₁ = %v, α₂ = %v, α₃ = %s (λ = %s)", fmt.Sprintf("%.6f", a1), fmt.Sprintf("%.6f", a2), FmtDur(a3), FmtDur(cfg.Lambda()))
 	return []*Table{t}, nil

@@ -56,17 +56,32 @@ func runE05() ([]*Table, error) {
 		PaperRef: "A2",
 		Columns:  []string{"f", "n", "strategy", "paper γ", "measured", "holds"},
 	}
+	type point struct {
+		f, n     int
+		strategy string
+	}
+	var points []point
 	for _, f := range []int{1, 2, 3, 4} {
-		n := 3*f + 1
-		cfg := core.Config{Params: analysis.Default(n, f)}
 		for _, s := range strategies {
-			res, err := Run(Workload{Cfg: cfg, Rounds: 12, Faults: faultMix(cfg, s, f, n), Seed: 3})
-			if err != nil {
-				return nil, fmt.Errorf("E05 f=%d %s: %w", f, s, err)
-			}
-			meas := res.Skew.MaxAfterWarmup()
-			t1.AddRow(fmtInt(f), fmtInt(n), s, FmtDur(cfg.Gamma()), FmtDur(meas), Verdict(meas <= cfg.Gamma()))
+			points = append(points, point{f: f, n: 3*f + 1, strategy: s})
 		}
+	}
+	sweep1 := Sweep[point]{
+		Name:   "E05",
+		Params: points,
+		Build: func(p point) (Workload, error) {
+			cfg := core.Config{Params: analysis.Default(p.n, p.f)}
+			return Workload{Cfg: cfg, Rounds: 12, Faults: faultMix(cfg, p.strategy, p.f, p.n), Seed: 3}, nil
+		},
+		Each: func(p point, w Workload, res *Result) error {
+			meas := res.Skew.MaxAfterWarmup()
+			gamma := w.Cfg.Gamma()
+			t1.AddRow(fmtInt(p.f), fmtInt(p.n), p.strategy, FmtDur(gamma), FmtDur(meas), Verdict(meas <= gamma))
+			return nil
+		},
+	}
+	if err := sweep1.Run(); err != nil {
+		return nil, fmt.Errorf("E05: %w", err)
 	}
 
 	t2 := &Table{
@@ -76,32 +91,39 @@ func runE05() ([]*Table, error) {
 		Columns:  []string{"system f", "actual faults", "measured skew", "vs γ"},
 	}
 	cfg := core.Config{Params: analysis.Default(7, 2)}
-	for _, actual := range []int{2, 3} {
-		mix := make(map[sim.ProcID]func() sim.Process, actual)
-		for i := 0; i < actual; i++ {
-			id := sim.ProcID(6 - i)
-			mix[id] = func() sim.Process {
-				return &faults.TwoFaced{Cfg: cfg, Lead: 9e-3, Lag: 9e-3,
-					EarlyTo: func(to sim.ProcID) bool { return int(to) < 2 }}
+	sweep2 := Sweep[int]{
+		Name:   "E05b",
+		Params: []int{2, 3},
+		Build: func(actual int) (Workload, error) {
+			mix := make(map[sim.ProcID]func() sim.Process, actual)
+			for i := 0; i < actual; i++ {
+				id := sim.ProcID(6 - i)
+				mix[id] = func() sim.Process {
+					return &faults.TwoFaced{Cfg: cfg, Lead: 9e-3, Lag: 9e-3,
+						EarlyTo: func(to sim.ProcID) bool { return int(to) < 2 }}
+				}
 			}
-		}
-		res, err := Run(Workload{
-			Cfg: cfg, Rounds: 25, Faults: mix, Seed: 3,
-			Delay: sim.ExtremalDelay{Delta: cfg.Delta, Eps: cfg.Eps},
-		})
-		if err != nil {
-			return nil, err
-		}
-		meas := res.Skew.Max()
-		rel := "within γ"
-		cell := FmtDur(meas)
-		switch {
-		case meas > 100*cfg.Gamma():
-			rel = "diverged — guarantee lost"
-		case meas > cfg.Gamma():
-			rel = fmt.Sprintf("%.1f× γ — guarantee lost", meas/cfg.Gamma())
-		}
-		t2.AddRow("2", fmtInt(actual), cell, rel)
+			return Workload{
+				Cfg: cfg, Rounds: 25, Faults: mix, Seed: 3,
+				Delay: sim.ExtremalDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+			}, nil
+		},
+		Each: func(actual int, _ Workload, res *Result) error {
+			meas := res.Skew.Max()
+			rel := "within γ"
+			cell := FmtDur(meas)
+			switch {
+			case meas > 100*cfg.Gamma():
+				rel = "diverged — guarantee lost"
+			case meas > cfg.Gamma():
+				rel = fmt.Sprintf("%.1f× γ — guarantee lost", meas/cfg.Gamma())
+			}
+			t2.AddRow("2", fmtInt(actual), cell, rel)
+			return nil
+		},
+	}
+	if err := sweep2.Run(); err != nil {
+		return nil, err
 	}
 	t2.AddNote("with f+1 coordinated two-faced faults the skew exceeds the f-fault guarantee, as A2 requires")
 	return []*Table{t1, t2}, nil

@@ -57,7 +57,8 @@ func RunStartup(cfg core.Config, spread float64, horizon clock.Real, seed int64)
 }
 
 // runE06 reproduces Lemma 20: Bⁱ⁺¹ ≤ Bⁱ/2 + 2ε + 2ρ(11δ+39ε), with the
-// limit ≈ 4ε.
+// limit ≈ 4ε. A single custom-engine execution (RunStartup, not a Workload
+// sweep), so it stays off the worker pool.
 func runE06() ([]*Table, error) {
 	cfg := core.Config{Params: analysis.Default(7, 2)}
 	bs, final, err := RunStartup(cfg, 2.0, 20, 42)

@@ -30,30 +30,42 @@ func runE07() ([]*Table, error) {
 		PaperRef: "§9.1: reaches Tⁱ⁺¹ within β of every nonfaulty process",
 		Columns:  []string{"wake time (in round)", "rejoin round", "offset at first broadcast", "≤ β", "offset at end", "≤ γ"},
 	}
-	for _, frac := range []float64{0.1, 0.45, 0.8} {
-		wake := clock.Real(5.0 + frac) // within round ~5
-		var rj *core.Rejoiner
-		res, err := Run(Workload{
-			Cfg:    cfg,
-			Rounds: 20,
-			Faults: map[sim.ProcID]func() sim.Process{
-				6: func() sim.Process {
-					rj = core.NewRejoiner(cfg, -77.7)
-					return rj
+	// Pointer params: the fault closure built on a worker goroutine stores
+	// the trial's rejoiner on its own parameter for Each to inspect.
+	type rejoinTrial struct {
+		frac float64
+		rj   *core.Rejoiner
+	}
+	sweep := Sweep[*rejoinTrial]{
+		Name:   "E07",
+		Params: []*rejoinTrial{{frac: 0.1}, {frac: 0.45}, {frac: 0.8}},
+		Build: func(p *rejoinTrial) (Workload, error) {
+			wake := clock.Real(5.0 + p.frac) // within round ~5
+			return Workload{
+				Cfg:    cfg,
+				Rounds: 20,
+				Faults: map[sim.ProcID]func() sim.Process{
+					6: func() sim.Process {
+						p.rj = core.NewRejoiner(cfg, -77.7)
+						return p.rj
+					},
 				},
-			},
-			StartOverride: map[sim.ProcID]clock.Real{6: wake},
-			Seed:          9,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !rj.Joined() {
-			return nil, errors.New("E07: rejoiner never joined")
-		}
-		offStart, offEnd := rejoinOffsets(res)
-		t.AddRow(FmtDur(float64(frac)), "joined", FmtDur(offStart), Verdict(offStart <= cfg.Beta),
-			FmtDur(offEnd), Verdict(offEnd <= cfg.Gamma()))
+				StartOverride: map[sim.ProcID]clock.Real{6: wake},
+				Seed:          9,
+			}, nil
+		},
+		Each: func(p *rejoinTrial, _ Workload, res *Result) error {
+			if p.rj == nil || !p.rj.Joined() {
+				return errors.New("rejoiner never joined")
+			}
+			offStart, offEnd := rejoinOffsets(res)
+			t.AddRow(FmtDur(p.frac), "joined", FmtDur(offStart), Verdict(offStart <= cfg.Beta),
+				FmtDur(offEnd), Verdict(offEnd <= cfg.Gamma()))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("repaired process wakes with its clock 77.7s wrong; β = %s, γ = %s", FmtDur(cfg.Beta), FmtDur(cfg.Gamma()))
 	return []*Table{t}, nil

@@ -66,22 +66,7 @@ func algorithms(params analysis.Params) []struct {
 func runE08() ([]*Table, error) {
 	params := analysis.Default(7, 2)
 	rounds := 20
-
-	run := func(mk func(sim.ProcID, clock.Local) sim.Process, mix map[sim.ProcID]func() sim.Process) (steady, adj, msgsPerRound float64, err error) {
-		res, err := Run(Workload{
-			Cfg:      core.Config{Params: params},
-			MakeProc: mk,
-			Faults:   mix,
-			Rounds:   rounds,
-			Seed:     17,
-		})
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		warm := res.Skew.Warmup
-		return res.Skew.MaxAfterWarmup(), res.Rounds.MaxAbsAdj(warm),
-			float64(res.Engine.MessagesSent()) / float64(rounds), nil
-	}
+	algs := algorithms(params)
 
 	t := &Table{
 		ID:       "E08",
@@ -89,22 +74,54 @@ func runE08() ([]*Table, error) {
 		PaperRef: "§10",
 		Columns:  []string{"algorithm", "paper agreement", "measured (no faults)", "measured (f silent)", "max |ADJ|", "msgs/round"},
 	}
-	mix := map[sim.ProcID]func() sim.Process{
-		5: func() sim.Process { return faults.Silent{} },
-		6: func() sim.Process { return faults.Silent{} },
+	// Two trials per algorithm: fault-free first, then f silent faults. The
+	// ordered Each completes one table row per clean/faulty pair.
+	type trial struct {
+		alg    int
+		faulty bool
 	}
-	for _, alg := range algorithms(params) {
-		clean, adj, msgs, err := run(alg.mk, nil)
-		if err != nil {
-			return nil, fmt.Errorf("E08 %s: %w", alg.name, err)
-		}
-		faulty, _, _, err := run(alg.mk, mix)
-		if err != nil {
-			return nil, fmt.Errorf("E08 %s faulty: %w", alg.name, err)
-		}
-		t.AddRow(alg.name,
-			fmt.Sprintf("%s %s", FmtDur(alg.paperAgree), alg.paperNote),
-			FmtDur(clean), FmtDur(faulty), FmtDur(adj), fmt.Sprintf("%.0f", msgs))
+	var points []trial
+	for i := range algs {
+		points = append(points, trial{alg: i, faulty: false}, trial{alg: i, faulty: true})
+	}
+	var cleanSkew, cleanAdj, cleanMsgs float64
+	sweep := Sweep[trial]{
+		Name:   "E08",
+		Params: points,
+		Build: func(p trial) (Workload, error) {
+			var mix map[sim.ProcID]func() sim.Process
+			if p.faulty {
+				mix = map[sim.ProcID]func() sim.Process{
+					5: func() sim.Process { return faults.Silent{} },
+					6: func() sim.Process { return faults.Silent{} },
+				}
+			}
+			return Workload{
+				Cfg:      core.Config{Params: params},
+				MakeProc: algs[p.alg].mk,
+				Faults:   mix,
+				Rounds:   rounds,
+				Seed:     17,
+			}, nil
+		},
+		Each: func(p trial, _ Workload, res *Result) error {
+			if !p.faulty {
+				warm := res.Skew.Warmup
+				cleanSkew = res.Skew.MaxAfterWarmup()
+				cleanAdj = res.Rounds.MaxAbsAdj(warm)
+				cleanMsgs = float64(res.Engine.MessagesSent()) / float64(rounds)
+				return nil
+			}
+			alg := algs[p.alg]
+			t.AddRow(alg.name,
+				fmt.Sprintf("%s %s", FmtDur(alg.paperAgree), alg.paperNote),
+				FmtDur(cleanSkew), FmtDur(res.Skew.MaxAfterWarmup()),
+				FmtDur(cleanAdj), fmt.Sprintf("%.0f", cleanMsgs))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("shape check: WL ≤ ST/HSSD requires δ > 3ε (here δ=10ε); WL ≪ CNV's 2nε worst case; ST/HSSD relay costs up to 2n² msgs/round under faults")
 	return []*Table{t}, nil

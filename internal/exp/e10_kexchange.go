@@ -34,22 +34,29 @@ func runE10() ([]*Table, error) {
 		PaperRef: "§7",
 		Columns:  []string{"k", "paper βₖ floor", "measured steady β", "β ≤ floor", "steady max skew"},
 	}
-	for _, k := range []int{1, 2, 3, 4} {
-		cfg := core.Config{Params: params, K: k, SubPeriod: params.P / float64(k)}
-		res, err := Run(Workload{
-			Cfg:    cfg,
-			Rounds: 14,
-			Drift:  clock.ConstantDrift{RhoBound: params.Rho},
-			Seed:   31,
-		})
-		if err != nil {
-			return nil, err
-		}
-		betas := res.Rounds.BetaSeries()
-		steadyB := betas[len(betas)-1]
-		floor := params.BetaFloorK(k)
-		t.AddRow(fmtInt(k), FmtDur(floor), FmtDur(steadyB), Verdict(steadyB <= floor),
-			FmtDur(res.Skew.MaxAfterWarmup()))
+	sweep := Sweep[int]{
+		Name:   "E10",
+		Params: []int{1, 2, 3, 4},
+		Build: func(k int) (Workload, error) {
+			cfg := core.Config{Params: params, K: k, SubPeriod: params.P / float64(k)}
+			return Workload{
+				Cfg:    cfg,
+				Rounds: 14,
+				Drift:  clock.ConstantDrift{RhoBound: params.Rho},
+				Seed:   31,
+			}, nil
+		},
+		Each: func(k int, _ Workload, res *Result) error {
+			betas := res.Rounds.BetaSeries()
+			steadyB := betas[len(betas)-1]
+			floor := params.BetaFloorK(k)
+			t.AddRow(fmtInt(k), FmtDur(floor), FmtDur(steadyB), Verdict(steadyB <= floor),
+				FmtDur(res.Skew.MaxAfterWarmup()))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: βₖ approaches 4ε+2ρP as k grows (4ε+2ρP = %s here)", FmtDur(4*params.Eps+2*params.Rho*params.P))
 	t.AddNote("the skew column shows the additional practical benefit of spreading the k corrections across the round")

@@ -27,27 +27,33 @@ func runE11() ([]*Table, error) {
 		PaperRef: "§9.3",
 		Columns:  []string{"σ (stagger)", "copies lost", "loss rate", "steady skew", "within γ+nσ drift term"},
 	}
-	for _, sigma := range []float64{0, 0.5e-3, 2e-3} {
-		cfg := core.Config{Params: params, Stagger: sigma}
-		ch := sim.NewEther(0.4e-3, 6)
-		res, err := Run(Workload{
-			Cfg:     cfg,
-			Rounds:  15,
-			Channel: ch,
-			Seed:    13,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sent := res.Engine.MessagesSent() + res.Engine.MessagesLost()
-		lossRate := 0.0
-		if sent > 0 {
-			lossRate = float64(res.Engine.MessagesLost()) / float64(sent)
-		}
-		bound := cfg.Gamma() + float64(cfg.N)*sigma*2*cfg.Rho + 1e-4
-		skew := res.Skew.MaxAfterWarmup()
-		t.AddRow(FmtDur(sigma), fmtInt(int(res.Engine.MessagesLost())), FmtRatio(lossRate),
-			FmtDur(skew), Verdict(skew <= bound))
+	sweep := Sweep[float64]{
+		Name:   "E11",
+		Params: []float64{0, 0.5e-3, 2e-3},
+		Build: func(sigma float64) (Workload, error) {
+			return Workload{
+				Cfg:     core.Config{Params: params, Stagger: sigma},
+				Rounds:  15,
+				Channel: sim.NewEther(0.4e-3, 6),
+				Seed:    13,
+			}, nil
+		},
+		Each: func(sigma float64, w Workload, res *Result) error {
+			cfg := w.Cfg
+			sent := res.Engine.MessagesSent() + res.Engine.MessagesLost()
+			lossRate := 0.0
+			if sent > 0 {
+				lossRate = float64(res.Engine.MessagesLost()) / float64(sent)
+			}
+			bound := cfg.Gamma() + float64(cfg.N)*sigma*2*cfg.Rho + 1e-4
+			skew := res.Skew.MaxAfterWarmup()
+			t.AddRow(FmtDur(sigma), fmtInt(int(res.Engine.MessagesLost())), FmtRatio(lossRate),
+				FmtDur(skew), Verdict(skew <= bound))
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("σ=0: all ten broadcasts hit each receiver within the contention window and overflow its buffer")
 	t.AddNote("the algorithm still synchronizes under loss (dropped copies look like faulty senders), but with degraded margins; staggering eliminates the loss")

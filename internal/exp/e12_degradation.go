@@ -1,8 +1,6 @@
 package exp
 
 import (
-	"fmt"
-
 	"repro/internal/analysis"
 	"repro/internal/baselines/ms"
 	"repro/internal/clock"
@@ -37,41 +35,64 @@ func runE12() ([]*Table, error) {
 		PaperRef: "§10",
 		Columns:  []string{"faults", "within spec", "WL silent", "MS silent", "WL two-faced", "MS two-faced"},
 	}
+	// Four trials per fault count — (WL, MS) × (silent, two-faced) in column
+	// order — folded into one row by the ordered Each.
+	type trial struct {
+		bad      int
+		twofaced bool
+		msAlg    bool
+	}
+	var points []trial
 	for _, bad := range []int{0, 2, 3, 4, 5} {
-		silent := make(map[sim.ProcID]func() sim.Process, bad)
-		twofaced := make(map[sim.ProcID]func() sim.Process, bad)
-		cfg := core.Config{Params: params}
-		for i := 0; i < bad; i++ {
-			id := sim.ProcID(params.N - 1 - i)
-			silent[id] = func() sim.Process { return faults.Silent{} }
-			twofaced[id] = func() sim.Process {
-				return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3,
-					EarlyTo: func(to sim.ProcID) bool { return int(to)%2 == 0 },
-					// Speak MS's dialect too so the attack reaches both
-					// algorithms; WL ignores payload content anyway.
-					MakePayload: func(mark clock.Local) any { return ms.ClockMsg{Mark: mark} }}
-			}
+		for _, twofaced := range []bool{false, true} {
+			points = append(points,
+				trial{bad: bad, twofaced: twofaced, msAlg: false},
+				trial{bad: bad, twofaced: twofaced, msAlg: true})
 		}
-		row := []string{fmtInt(bad), Verdict(bad <= params.F)}
-		for _, mix := range []map[sim.ProcID]func() sim.Process{silent, twofaced} {
-			wlRes, err := Run(Workload{Cfg: cfg, Rounds: 15, Faults: mix, Seed: 19})
-			if err != nil {
-				return nil, fmt.Errorf("E12 WL bad=%d: %w", bad, err)
+	}
+	var row []string
+	sweep := Sweep[trial]{
+		Name:   "E12",
+		Params: points,
+		Build: func(p trial) (Workload, error) {
+			cfg := core.Config{Params: params}
+			mix := make(map[sim.ProcID]func() sim.Process, p.bad)
+			for i := 0; i < p.bad; i++ {
+				id := sim.ProcID(params.N - 1 - i)
+				if p.twofaced {
+					mix[id] = func() sim.Process {
+						return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3,
+							EarlyTo: func(to sim.ProcID) bool { return int(to)%2 == 0 },
+							// Speak MS's dialect too so the attack reaches both
+							// algorithms; WL ignores payload content anyway.
+							MakePayload: func(mark clock.Local) any { return ms.ClockMsg{Mark: mark} }}
+					}
+				} else {
+					mix[id] = func() sim.Process { return faults.Silent{} }
+				}
 			}
-			msCfg := ms.Config{Params: params}
-			msRes, err := Run(Workload{
-				Cfg:      cfg,
-				MakeProc: func(_ sim.ProcID, c clock.Local) sim.Process { return ms.New(msCfg, c) },
-				Rounds:   15,
-				Faults:   mix,
-				Seed:     19,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E12 MS bad=%d: %w", bad, err)
+			w := Workload{Cfg: cfg, Rounds: 15, Faults: mix, Seed: 19}
+			if p.msAlg {
+				msCfg := ms.Config{Params: params}
+				w.MakeProc = func(_ sim.ProcID, c clock.Local) sim.Process { return ms.New(msCfg, c) }
 			}
-			row = append(row, FmtDur(wlRes.Skew.MaxAfterWarmup()), FmtDur(msRes.Skew.MaxAfterWarmup()))
-		}
-		t.AddRow(row...)
+			return w, nil
+		},
+		Each: func(p trial, _ Workload, res *Result) error {
+			if len(row) == 0 {
+				row = []string{fmtInt(p.bad), Verdict(p.bad <= params.F)}
+			}
+			row = append(row, FmtDur(res.Skew.MaxAfterWarmup()))
+			// The MS two-faced trial is the known last of each fault count.
+			if p.msAlg && p.twofaced {
+				t.AddRow(row...)
+				row = nil
+			}
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("within spec WL is *tighter* under attack: reduce_f trims every planted extreme, while MS's mean admits (diluted) attacker values")
 	t.AddNote("silent beyond spec: both algorithms stop adjusting (out-of-spec safeguard / empty support set) and free-run identically")

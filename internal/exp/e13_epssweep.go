@@ -28,27 +28,34 @@ func runE13() ([]*Table, error) {
 		PaperRef: "γ ≈ β+ε ≈ 5ε",
 		Columns:  []string{"ε", "paper γ", "measured steady skew", "skew/ε"},
 	}
-	for _, eps := range []float64{0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3} {
-		params := analysis.Params{
-			N: 7, F: 2,
-			Rho: 1e-6, Delta: 20e-3, Eps: eps,
-			Beta: 4*eps + 0.6*eps, P: 1.0,
-		}
-		if err := params.Validate(); err != nil {
-			return nil, fmt.Errorf("E13 ε=%v: %w", eps, err)
-		}
-		cfg := core.Config{Params: params}
-		res, err := Run(Workload{
-			Cfg:    cfg,
-			Rounds: 16,
-			Delay:  sim.ExtremalDelay{Delta: params.Delta, Eps: eps},
-			Seed:   29,
-		})
-		if err != nil {
-			return nil, err
-		}
-		skew := res.Skew.MaxAfterWarmup()
-		t1.AddRow(FmtDur(eps), FmtDur(params.Gamma()), FmtDur(skew), FmtRatio(skew/eps))
+	sweep1 := Sweep[float64]{
+		Name:   "E13",
+		Params: []float64{0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3},
+		Build: func(eps float64) (Workload, error) {
+			params := analysis.Params{
+				N: 7, F: 2,
+				Rho: 1e-6, Delta: 20e-3, Eps: eps,
+				Beta: 4*eps + 0.6*eps, P: 1.0,
+			}
+			if err := params.Validate(); err != nil {
+				return Workload{}, fmt.Errorf("ε=%v: %w", eps, err)
+			}
+			return Workload{
+				Cfg:    core.Config{Params: params},
+				Rounds: 16,
+				Delay:  sim.ExtremalDelay{Delta: params.Delta, Eps: eps},
+				Seed:   29,
+			}, nil
+		},
+		Each: func(eps float64, w Workload, res *Result) error {
+			params := w.Cfg.Params
+			skew := res.Skew.MaxAfterWarmup()
+			t1.AddRow(FmtDur(eps), FmtDur(params.Gamma()), FmtDur(skew), FmtRatio(skew/eps))
+			return nil
+		},
+	}
+	if err := sweep1.Run(); err != nil {
+		return nil, err
 	}
 	t1.AddNote("skew/ε stable across a 16× ε range demonstrates the linear scaling; the constant sits below the worst-case 5")
 
@@ -58,22 +65,29 @@ func runE13() ([]*Table, error) {
 		PaperRef: "β ≈ 4ε+4ρP",
 		Columns:  []string{"ρ", "paper β floor", "measured steady skew", "skew/(ρP)"},
 	}
-	for _, rho := range []float64{1e-5, 5e-5, 2e-4, 8e-4} {
-		params := analysis.Params{
-			N: 7, F: 2,
-			Rho: rho, Delta: 10e-3, Eps: 0.1e-3,
-			Beta: 4*0.1e-3 + 4*rho*2 + 2e-3, P: 2.0,
-		}
-		if err := params.Validate(); err != nil {
-			return nil, fmt.Errorf("E13 ρ=%v: %w", rho, err)
-		}
-		cfg := core.Config{Params: params}
-		res, err := Run(Workload{Cfg: cfg, Rounds: 16, Seed: 29})
-		if err != nil {
-			return nil, err
-		}
-		skew := res.Skew.MaxAfterWarmup()
-		t2.AddRow(fmt.Sprintf("%.0e", rho), FmtDur(params.BetaFloor()), FmtDur(skew), FmtRatio(skew/(rho*params.P)))
+	sweep2 := Sweep[float64]{
+		Name:   "E13b",
+		Params: []float64{1e-5, 5e-5, 2e-4, 8e-4},
+		Build: func(rho float64) (Workload, error) {
+			params := analysis.Params{
+				N: 7, F: 2,
+				Rho: rho, Delta: 10e-3, Eps: 0.1e-3,
+				Beta: 4*0.1e-3 + 4*rho*2 + 2e-3, P: 2.0,
+			}
+			if err := params.Validate(); err != nil {
+				return Workload{}, fmt.Errorf("ρ=%v: %w", rho, err)
+			}
+			return Workload{Cfg: core.Config{Params: params}, Rounds: 16, Seed: 29}, nil
+		},
+		Each: func(rho float64, w Workload, res *Result) error {
+			params := w.Cfg.Params
+			skew := res.Skew.MaxAfterWarmup()
+			t2.AddRow(fmt.Sprintf("%.0e", rho), FmtDur(params.BetaFloor()), FmtDur(skew), FmtRatio(skew/(rho*params.P)))
+			return nil
+		},
+	}
+	if err := sweep2.Run(); err != nil {
+		return nil, err
 	}
 	t2.AddNote("with drift dominating, skew grows linearly in ρP: skew/(ρP) approaches the constant-drift spread factor 2")
 	return []*Table{t1, t2}, nil

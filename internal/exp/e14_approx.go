@@ -19,6 +19,8 @@ func init() {
 // runE14 validates the substrate the averaging function comes from: in the
 // synchronous model with the spread adversary, the nonfaulty diameter at
 // least halves every round and never escapes the initial nonfaulty range.
+// Each round's input is the previous round's output, so this experiment is
+// inherently sequential and stays off the worker pool.
 func runE14() ([]*Table, error) {
 	t := &Table{
 		ID:       "E14",

@@ -20,7 +20,8 @@ func init() {
 // runE15 reproduces the deployment story the paper sketches at the end of
 // §9.2: run the start-up algorithm until the desired closeness is achieved,
 // switch to the maintenance algorithm, and keep the guarantees from then on.
-// The table reports the three phases of one execution.
+// The table reports the three phases of one execution — a single custom
+// engine run, so there is no sweep to parallelize.
 func runE15() ([]*Table, error) {
 	cfg := core.Config{Params: analysis.Default(7, 2)}
 	n := cfg.N

@@ -107,11 +107,12 @@ func runE16() ([]*Table, error) {
 		5: mkTwoFaced,
 		6: mkTwoFaced,
 	}
-	variants := []struct {
+	type variant struct {
 		name   string
 		breaks string
 		mk     func(id sim.ProcID, corr clock.Local) sim.Process
-	}{
+	}
+	variants := []variant{
 		{"faithful §4.2", "nothing", func(_ sim.ProcID, c clock.Local) sim.Process {
 			return core.NewProc(cfg, c)
 		}},
@@ -138,16 +139,23 @@ func runE16() ([]*Table, error) {
 		PaperRef: "§4.1",
 		Columns:  []string{"variant", "steady skew", "agreement ≤ γ", "validity holds", "expected to break"},
 	}
-	for _, v := range variants {
-		res, err := Run(Workload{Cfg: cfg, Rounds: 15, Faults: mix, Seed: 21, MakeProc: v.mk})
-		if err != nil {
-			return nil, err
-		}
-		skew := res.Skew.MaxAfterWarmup()
-		t.AddRow(v.name, FmtDur(skew),
-			Verdict(skew <= cfg.Gamma()),
-			Verdict(res.Validity.WorstViolation() <= 0),
-			v.breaks)
+	sweep := Sweep[variant]{
+		Name:   "E16",
+		Params: variants,
+		Build: func(v variant) (Workload, error) {
+			return Workload{Cfg: cfg, Rounds: 15, Faults: mix, Seed: 21, MakeProc: v.mk}, nil
+		},
+		Each: func(v variant, _ Workload, res *Result) error {
+			skew := res.Skew.MaxAfterWarmup()
+			t.AddRow(v.name, FmtDur(skew),
+				Verdict(skew <= cfg.Gamma()),
+				Verdict(res.Validity.WorstViolation() <= 0),
+				v.breaks)
+			return nil
+		},
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
 	}
 	t.AddNote("γ = %s; the faithful row holds everything, each ablation loses the property its mechanism protects", FmtDur(cfg.Gamma()))
 	t.AddNote("window ×0.3 closes before any arrival (δ−ε > 0.3·window), so each update consumes the *previous* round's arrivals: the clocks leap ≈P per round together — agreement survives, validity does not")

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReturnsResultsInInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapIndependentOfWorkerCount(t *testing.T) {
+	// The jobs mix their index into a derived seed — the exact setup of a
+	// seeded sweep. Results must not depend on the pool size.
+	job := func(i int) (int64, error) { return DeriveSeed(42, i), nil }
+	want, err := Map(1, 64, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Map(workers, 64, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(_, 0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapReportsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 7:
+				return 0, errB
+			default:
+				return i, nil
+			}
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// Job 7 may have been aborted before it ran, but whenever both
+		// fail, the lowest-indexed error must win; err must never be nil
+		// and must be one of the two.
+		if !errors.Is(err, errA) && !errors.Is(err, errB) {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if workers == 1 && !errors.Is(err, errA) {
+			t.Fatalf("serial path must report job 3's error, got %v", err)
+		}
+	}
+}
+
+func TestMapAbortsEarlyOnError(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(1, 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n != 5 {
+		t.Fatalf("serial abort ran %d jobs, want 5", n)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		_, err := Map(workers, 8, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "job 2") {
+			t.Fatalf("workers=%d: panic not converted to error: %v", workers, err)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("unset default = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("after SetDefaultWorkers(3): %d", got)
+	}
+	SetDefaultWorkers(-5)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative reset: %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Stable: pure function of (base, trial).
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	// Never the reserved zero.
+	seen := make(map[int64]bool)
+	for base := int64(-2); base <= 2; base++ {
+		for trial := 0; trial < 1000; trial++ {
+			s := DeriveSeed(base, trial)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%d, %d) = 0", base, trial)
+			}
+			seen[s] = true
+		}
+	}
+	// Well separated: no collisions across a 5×1000 grid.
+	if len(seen) != 5000 {
+		t.Errorf("collisions: %d distinct seeds of 5000", len(seen))
+	}
+}
+
+// TestStressConcurrentSweeps exercises many small sweeps running at once —
+// the shape of nested experiment fan-out — and is the designated workload
+// for `go test -race ./internal/exp/runner`.
+func TestStressConcurrentSweeps(t *testing.T) {
+	const (
+		sweeps  = 64
+		jobs    = 50
+		workers = 4
+	)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, sweeps)
+	for s := 0; s < sweeps; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Map(workers, jobs, func(i int) (int64, error) {
+				seed := DeriveSeed(int64(s), i)
+				total.Add(1)
+				return seed, nil
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for i, v := range got {
+				if v != DeriveSeed(int64(s), i) {
+					errs[s] = fmt.Errorf("sweep %d: result %d corrupted", s, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := total.Load(); n != sweeps*jobs {
+		t.Fatalf("ran %d jobs, want %d", n, sweeps*jobs)
+	}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/exp/runner"
+)
+
+// Sweep is the shared shape of an experiment's trial loop: a list of
+// parameter points, a builder that assembles the workload for one point,
+// and a reducer that consumes the results in order. Sweep.Run fans the
+// workloads out across the runner's worker pool, so every experiment that
+// routes its loops through a Sweep regenerates its tables in parallel —
+// with output byte-identical to a serial run, because Each always observes
+// the trials in Params order.
+//
+// Build and the workload it returns execute on worker goroutines; they
+// must not write shared state. A Build that needs to hand extra per-trial
+// artifacts to Each (e.g. a process instance created inside a fault
+// closure) should use pointer Params and store the artifact on its own
+// parameter — each trial owns its element, and the pool's join provides
+// the happens-before edge for Each's reads.
+type Sweep[P any] struct {
+	// Name labels errors, conventionally the experiment id ("E05").
+	Name string
+	// Params holds one entry per trial, in table order.
+	Params []P
+	// Build assembles one trial's workload. Validation failures abort the
+	// sweep. Runs concurrently with other trials' Build and Run.
+	Build func(p P) (Workload, error)
+	// Each consumes one trial's result together with the workload it ran.
+	// Called sequentially in Params order after the trial completes.
+	Each func(p P, w Workload, r *Result) error
+}
+
+// trial pairs the workload a Build produced with its Result so Each can
+// read configuration (w.Cfg) without recomputing it.
+type trial struct {
+	w Workload
+	r *Result
+}
+
+// Run executes the sweep: Build+Run on the worker pool, Each in order.
+// Errors carry the failing trial's index ("E05[7]: …") so a failure deep
+// in a large sweep names its parameter point.
+func (s Sweep[P]) Run() error {
+	trials, err := runner.Map(0, len(s.Params), func(i int) (trial, error) {
+		w, err := s.Build(s.Params[i])
+		if err != nil {
+			return trial{}, fmt.Errorf("%s[%d]: %w", s.Name, i, err)
+		}
+		r, err := Run(w)
+		if err != nil {
+			return trial{}, fmt.Errorf("%s[%d]: %w", s.Name, i, err)
+		}
+		return trial{w: w, r: r}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, tr := range trials {
+		if err := s.Each(s.Params[i], tr.w, tr.r); err != nil {
+			return fmt.Errorf("%s[%d]: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
