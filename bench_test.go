@@ -13,6 +13,7 @@ import (
 	clocksync "repro"
 	"repro/internal/agreement"
 	"repro/internal/analysis"
+	"repro/internal/bench"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -158,18 +159,17 @@ func BenchmarkClockInverse(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineThroughput measures raw event-processing speed: messages
-// delivered per second through the full queue/clock/delay stack.
+// BenchmarkEngineThroughput measures raw event-processing speed through the
+// full queue/clock/delay stack, in two regimes (shared with cmd/benchjson,
+// which writes the same measurements to BENCH_engine.json):
+//
+//   - steady: the no-observer steady state, one op per delivered event —
+//     allocs/op here is the engine's own allocation rate and must stay at
+//     (effectively) zero;
+//   - workload: one full experiment-harness run per op, recorders attached.
 func BenchmarkEngineThroughput(b *testing.B) {
-	cfg := core.Config{Params: analysis.Default(7, 2)}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := exp.Run(exp.Workload{Cfg: cfg, Rounds: 10, Seed: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.Engine.Steps()), "events/op")
-	}
+	b.Run("steady", bench.EngineSteady)
+	b.Run("workload", bench.EngineWorkload)
 }
 
 // BenchmarkApproxAgreementRound measures one synchronous approximate

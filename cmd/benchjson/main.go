@@ -1,0 +1,86 @@
+// Command benchjson runs the standing engine benchmarks (internal/bench,
+// the same code behind `go test -bench=EngineThroughput`) and writes the
+// results as JSON, so the hot path's performance trajectory is tracked
+// across PRs in BENCH_engine.json instead of volatile CI logs.
+//
+// Usage:
+//
+//	benchjson             # writes BENCH_engine.json
+//	benchjson -o - | jq . # print to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// result is one benchmark measurement. EventsPerSec is the headline number
+// for the event engine; AllocsPerOp in the steady benchmark is the
+// zero-allocation regression signal (one op = one delivered event there).
+type result struct {
+	Name         string  `json:"name"`
+	Ops          int     `json:"ops"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+}
+
+type report struct {
+	Note       string   `json:"note"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path (\"-\" for stdout)")
+	flag.Parse()
+
+	benchmarks := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EngineThroughput/steady", bench.EngineSteady},
+		{"EngineThroughput/workload", bench.EngineWorkload},
+	}
+
+	rep := report{
+		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state)",
+	}
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(bm.fn)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:         bm.name,
+			Ops:          r.N,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:  float64(r.MemAllocs) / float64(r.N),
+			BytesPerOp:   float64(r.MemBytes) / float64(r.N),
+			EventsPerSec: r.Extra["events/sec"],
+			EventsPerOp:  r.Extra["events/op"],
+		})
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

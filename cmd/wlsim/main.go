@@ -11,13 +11,22 @@
 // With -trials > 1 the same configuration runs across that many seeds
 // (derived deterministically from -seed, so results do not depend on
 // -workers) and a per-trial table plus min/median/max summary is printed.
+//
+// wlsim is also the profiling entry point for the simulator hot path:
+//
+//	wlsim -n 31 -f 10 -rounds 200 -cpuprofile cpu.pprof
+//	wlsim -n 31 -f 10 -rounds 200 -memprofile mem.pprof
+//	go tool pprof -top cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"sync"
 	"time"
 
 	clocksync "repro"
@@ -46,9 +55,38 @@ func main() {
 		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
 		trials   = flag.Int("trials", 1, "run this many derived-seed trials of the same configuration")
 		workers  = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	runner.SetDefaultWorkers(*workers)
+
+	if *cpuprof != "" || *memprof != "" {
+		var f *os.File
+		if *cpuprof != "" {
+			var err error
+			f, err = os.Create(*cpuprof)
+			exitOn(err)
+			exitOn(pprof.StartCPUProfile(f))
+		}
+		cpu, mem := *cpuprof, *memprof
+		var once sync.Once
+		// exitOn runs this too: os.Exit skips defers, and a truncated CPU
+		// profile or a never-written heap profile from a failed run is
+		// exactly when the data matters.
+		flushProfiles = func() {
+			once.Do(func() {
+				if cpu != "" {
+					pprof.StopCPUProfile()
+					closeProfile(f, cpu)
+				}
+				if mem != "" {
+					writeHeapProfile(mem)
+				}
+			})
+		}
+		defer flushProfiles()
+	}
 
 	if *startup {
 		if *trials > 1 {
@@ -195,9 +233,36 @@ func parseFault(s string) (clocksync.FaultKind, error) {
 	}
 }
 
+// flushProfiles stops and writes any active profiles; set in main when
+// profiling flags are given, called both on normal return and by exitOn.
+var flushProfiles = func() {}
+
+// writeHeapProfile records the live-heap profile after a final GC, the
+// useful view for hunting event-loop allocations. Best-effort: it runs on
+// error paths too and must not re-enter exitOn.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlsim: memprofile:", err)
+		return
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "wlsim: memprofile:", err)
+	}
+	closeProfile(f, path)
+}
+
+func closeProfile(f *os.File, path string) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "wlsim: %s: %v\n", path, err)
+	}
+}
+
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,124 @@
+// Package bench defines the standing engine benchmarks shared by the
+// repository's `go test -bench` targets and cmd/benchjson, so the numbers
+// committed to BENCH_engine.json are produced by exactly the code the
+// benchmarks run.
+//
+// Two complementary views of the simulator hot path:
+//
+//   - EngineSteady: the no-observer steady state. One op is one delivered
+//     event; allocs/op is the engine's own allocation rate (the
+//     zero-allocation target of the event-loop refactor) and the events/sec
+//     extra metric is raw queue/clock/delay/dispatch throughput.
+//   - EngineWorkload: one full experiment-harness run (maintenance
+//     algorithm, n=7 f=2, 10 rounds, all standard recorders attached) per
+//     op — the end-to-end cost an experiment table actually pays per trial.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// beacon broadcasts an empty payload and re-arms its timer every period: a
+// self-sustaining full mesh of traffic in which every delivered event is
+// pure engine work, with no payload allocation and no observer listening.
+type beacon struct{ period clock.Local }
+
+func (b *beacon) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind == sim.KindOrdinary {
+		return
+	}
+	ctx.Broadcast(nil)
+	ctx.SetTimer(ctx.PhysNow()+b.period, nil)
+}
+
+// NewSteadyEngine builds the no-observer benchmark engine: n beacon
+// processes on drifting clocks, uniform delays, no observers registered.
+func NewSteadyEngine(n int, seed int64) (*sim.Engine, error) {
+	procs := make([]sim.Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	drift := clock.ConstantDrift{RhoBound: 1e-5}
+	for i := range procs {
+		procs[i] = &beacon{period: 1e-3}
+		clocks[i] = drift.Build(i, n)
+		starts[i] = clock.Real(i) * 1e-4
+	}
+	return sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: 4e-4, Eps: 1e-4},
+		Seed:    seed,
+		// The bench loop sizes work by b.N events; never trip the runaway
+		// guard under long -benchtime runs.
+		MaxSteps: 1 << 40,
+	})
+}
+
+// Advance runs eng in fixed horizon chunks until it has delivered at least
+// target events, returning the horizon reached. Shared by the benchmarks and
+// the CI allocation gate so both measure the same regime.
+func Advance(eng *sim.Engine, horizon clock.Real, target int) (clock.Real, error) {
+	const chunk = 0.05 // seconds of simulated time per Run call
+	for eng.Steps() < target {
+		horizon += chunk
+		if err := eng.Run(horizon); err != nil {
+			return horizon, err
+		}
+	}
+	return horizon, nil
+}
+
+// runSteps is Advance with benchmark error handling.
+func runSteps(b *testing.B, eng *sim.Engine, horizon clock.Real, target int) clock.Real {
+	horizon, err := Advance(eng, horizon, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return horizon
+}
+
+// EngineSteady benchmarks the no-observer steady state; one op is one
+// delivered event.
+func EngineSteady(b *testing.B) {
+	eng, err := NewSteadyEngine(7, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := runSteps(b, eng, 0, 2000) // warm the queue and free list
+	warm := eng.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runSteps(b, eng, horizon, warm+b.N)
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(eng.Steps()-warm)/s, "events/sec")
+	}
+}
+
+// EngineWorkload benchmarks one full experiment-harness run per op.
+func EngineWorkload(b *testing.B) {
+	cfg := core.Config{Params: analysis.Default(7, 2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events, secs float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(exp.Workload{Cfg: cfg, Rounds: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += float64(res.Engine.Steps())
+	}
+	b.StopTimer()
+	secs = b.Elapsed().Seconds()
+	b.ReportMetric(events/float64(b.N), "events/op")
+	if secs > 0 {
+		b.ReportMetric(events/secs, "events/sec")
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestEngineSteadyStateAllocs is the allocation regression gate (wired into
+// CI): after warm-up, the no-observer event loop must run allocation-free —
+// queue slots are recycled from the free list, the Context is reused, delay
+// sampling is inline, and observer fan-outs are empty. It measures the same
+// engine configuration BenchmarkEngineThroughput/steady reports, via the
+// same NewSteadyEngine/Advance harness, so the gate guards exactly the
+// benchmarked regime. Each measured Run slice delivers thousands of events;
+// even ≤ 2 allocations per slice is effectively zero per event.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	eng, err := NewSteadyEngine(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perSlice = 5000
+	horizon, err := Advance(eng, 0, 2000) // warm the queue and free list
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := eng.Steps()
+	before := eng.Steps()
+	allocs := testing.AllocsPerRun(5, func() {
+		target += perSlice
+		var aerr error
+		horizon, aerr = Advance(eng, horizon, target)
+		if aerr != nil {
+			panic(aerr)
+		}
+	})
+	delivered := (eng.Steps() - before) / 6 // AllocsPerRun runs one warm-up + 5 measured
+	if allocs > 2 {
+		t.Errorf("steady state allocated %v times per Run slice (~%d events); want ≤ 2", allocs, delivered)
+	}
+	if delivered < perSlice {
+		t.Fatalf("gate workload delivered only ~%d events per slice; not a meaningful measurement", delivered)
+	}
+}

@@ -126,8 +126,6 @@ type epochCollector struct {
 	epochs []float64
 }
 
-func (c *epochCollector) Sample(*sim.Engine, bool) {}
-
 func (c *epochCollector) OnAnnotation(_ *sim.Engine, a sim.Annotation) {
 	if a.Tag == metrics.TagRejoined {
 		c.epochs = append(c.epochs, a.Value)

@@ -98,10 +98,15 @@ func runE16() ([]*Table, error) {
 	cfg := core.Config{Params: analysis.Default(7, 2)}
 	// Both adversaries send early to even recipients and late to odd ones:
 	// per recipient the two planted arrivals sit on the same side, which
-	// reduce_f trims exactly and a plain midpoint pays for in full.
+	// reduce_f trims exactly and a plain midpoint pays for in full. The lag
+	// is chosen so the late copy arrives at Lag+δ±ε — always after the
+	// (1+ρ)(β+δ+ε) window closes — leaving a one-round-stale extreme in the
+	// recipient's ARR for the *next* update: reduce_f discards it, a plain
+	// midpoint is dragged by ≈P/2, so the Lemma 6 failure is structural
+	// rather than dependent on the delay stream.
 	parity := func(to sim.ProcID) bool { return int(to)%2 == 0 }
 	mkTwoFaced := func() sim.Process {
-		return &faults.TwoFaced{Cfg: cfg, Lead: 8e-3, Lag: 6e-3, EarlyTo: parity}
+		return &faults.TwoFaced{Cfg: cfg, Lead: 8e-3, Lag: 8e-3, EarlyTo: parity}
 	}
 	mix := map[sim.ProcID]func() sim.Process{
 		5: mkTwoFaced,

@@ -126,10 +126,12 @@ func call[R any](fn func(int) (R, error), i int) (r R, err error) {
 }
 
 // DeriveSeed deterministically mixes a base seed with a trial index
-// (splitmix64 finalizer). Trials seeded this way get well-separated RNG
-// streams that depend only on (base, trial) — never on worker count or
-// completion order — so multi-trial sweeps stay reproducible in parallel.
-// The result is never 0, which the workload layer reserves for "default".
+// (splitmix64 finalizer; the same published constants as sim's internal
+// mix64 — duplicated so this generic pool does not import the simulator).
+// Trials seeded this way get well-separated RNG streams that depend only on
+// (base, trial) — never on worker count or completion order — so
+// multi-trial sweeps stay reproducible in parallel. The result is never 0,
+// which the workload layer reserves for "default".
 func DeriveSeed(base int64, trial int) int64 {
 	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(trial+1)
 	z ^= z >> 30

@@ -37,9 +37,9 @@ type SkewRecorder struct {
 	curBucket int
 }
 
-var _ sim.Observer = (*SkewRecorder)(nil)
+var _ sim.Sampler = (*SkewRecorder)(nil)
 
-// Sample implements sim.Observer.
+// Sample implements sim.Sampler.
 func (r *SkewRecorder) Sample(e *sim.Engine, _ bool) {
 	skew, ok := NonfaultySkew(e, e.Now())
 	if !ok {
@@ -61,9 +61,6 @@ func (r *SkewRecorder) Sample(e *sim.Engine, _ bool) {
 		}
 	}
 }
-
-// OnAnnotation implements sim.Observer.
-func (r *SkewRecorder) OnAnnotation(*sim.Engine, sim.Annotation) {}
 
 // Max returns the largest skew observed over the whole run.
 func (r *SkewRecorder) Max() float64 { return r.max }
@@ -117,7 +114,7 @@ type RoundRecorder struct {
 	skewAtBegin map[int]float64
 }
 
-var _ sim.Observer = (*RoundRecorder)(nil)
+var _ sim.AnnotationSink = (*RoundRecorder)(nil)
 
 // NewRoundRecorder builds a recorder for the given annotation tags.
 func NewRoundRecorder(beginTag, adjTag string) *RoundRecorder {
@@ -129,10 +126,9 @@ func NewRoundRecorder(beginTag, adjTag string) *RoundRecorder {
 	}
 }
 
-// Sample implements sim.Observer.
-func (r *RoundRecorder) Sample(*sim.Engine, bool) {}
-
-// OnAnnotation implements sim.Observer.
+// OnAnnotation implements sim.AnnotationSink. (The recorder deliberately has
+// no Sample method: annotations arrive on their own callback, so the engine
+// skips it during the twice-per-action sampling fan-out.)
 func (r *RoundRecorder) OnAnnotation(e *sim.Engine, a sim.Annotation) {
 	if e.Faulty(a.Proc) {
 		return
@@ -244,9 +240,9 @@ type ValidityRecorder struct {
 	samples int
 }
 
-var _ sim.Observer = (*ValidityRecorder)(nil)
+var _ sim.Sampler = (*ValidityRecorder)(nil)
 
-// Sample implements sim.Observer.
+// Sample implements sim.Sampler.
 func (v *ValidityRecorder) Sample(e *sim.Engine, _ bool) {
 	t := e.Now()
 	if t < v.From {
@@ -269,9 +265,6 @@ func (v *ValidityRecorder) Sample(e *sim.Engine, _ bool) {
 		}
 	}
 }
-
-// OnAnnotation implements sim.Observer.
-func (v *ValidityRecorder) OnAnnotation(*sim.Engine, sim.Annotation) {}
 
 // WorstViolation returns the largest envelope violation observed; values ≤ 0
 // mean Theorem 19 held at every sample.

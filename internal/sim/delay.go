@@ -1,17 +1,15 @@
 package sim
 
-import (
-	"math/rand"
-
-	"repro/internal/clock"
-)
+import "repro/internal/clock"
 
 // DelayModel realizes assumption A3: every message delay lies in [δ−ε, δ+ε].
 // Implementations must be deterministic given the rng stream so runs are
 // reproducible.
 type DelayModel interface {
-	// Sample returns the delay for one message copy.
-	Sample(from, to ProcID, at clock.Real, rng *rand.Rand) float64
+	// Sample returns the delay for one message copy. rng is the engine's
+	// allocation-free splitmix64 stream; models that need randomness draw
+	// from it, others ignore it.
+	Sample(from, to ProcID, at clock.Real, rng *RNG) float64
 	// Bounds returns (δ, ε).
 	Bounds() (delta, eps float64)
 }
@@ -25,7 +23,7 @@ type ConstantDelay struct {
 var _ DelayModel = ConstantDelay{}
 
 // Sample implements DelayModel.
-func (d ConstantDelay) Sample(_, _ ProcID, _ clock.Real, _ *rand.Rand) float64 { return d.Delta }
+func (d ConstantDelay) Sample(_, _ ProcID, _ clock.Real, _ *RNG) float64 { return d.Delta }
 
 // Bounds implements DelayModel.
 func (d ConstantDelay) Bounds() (float64, float64) { return d.Delta, 0 }
@@ -40,7 +38,7 @@ type UniformDelay struct {
 var _ DelayModel = UniformDelay{}
 
 // Sample implements DelayModel.
-func (d UniformDelay) Sample(_, _ ProcID, _ clock.Real, rng *rand.Rand) float64 {
+func (d UniformDelay) Sample(_, _ ProcID, _ clock.Real, rng *RNG) float64 {
 	return d.Delta - d.Eps + 2*d.Eps*rng.Float64()
 }
 
@@ -62,7 +60,7 @@ type ExtremalDelay struct {
 var _ DelayModel = ExtremalDelay{}
 
 // Sample implements DelayModel.
-func (d ExtremalDelay) Sample(from, to ProcID, _ clock.Real, _ *rand.Rand) float64 {
+func (d ExtremalDelay) Sample(from, to ProcID, _ clock.Real, _ *RNG) float64 {
 	slow := false
 	if d.SlowTo != nil {
 		slow = d.SlowTo(from, to)
@@ -90,7 +88,7 @@ type PerLinkDelay struct {
 var _ DelayModel = PerLinkDelay{}
 
 // Sample implements DelayModel.
-func (d PerLinkDelay) Sample(from, to ProcID, _ clock.Real, _ *rand.Rand) float64 {
+func (d PerLinkDelay) Sample(from, to ProcID, _ clock.Real, _ *RNG) float64 {
 	h := uint64(d.Seed)*0x9E3779B97F4A7C15 + uint64(from)*0xBF58476D1CE4E5B9 + uint64(to)*0x94D049BB133111EB
 	h ^= h >> 31
 	h *= 0xD6E8FEB86659FD93

@@ -1,10 +1,6 @@
 package sim
 
-import (
-	"sort"
-
-	"repro/internal/clock"
-)
+import "repro/internal/clock"
 
 // Ether models the §9.3 implementation substrate: an Ethernet-like datagram
 // network. Broadcast is available but not reliable — each receiver has a
@@ -46,13 +42,15 @@ func (e *Ether) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (cl
 		return at, true
 	}
 	q := e.arrivals[to]
-	// Drop bookkeeping older than the window to keep the slice short.
+	// Drop bookkeeping older than the window to keep the slice short. The
+	// slice is kept sorted, so this is a prefix scan.
 	cutoff := at - e.Window
-	i := sort.Search(len(q), func(i int) bool { return q[i] > cutoff })
+	i := 0
+	for i < len(q) && q[i] <= cutoff {
+		i++
+	}
 	q = q[i:]
-	// Count arrivals contending with this one. Arrivals are appended out of
-	// order (send order, not arrival order) only within a window's jitter,
-	// so count directly.
+	// Count arrivals contending with this one.
 	contending := 0
 	for _, a := range q {
 		if a > at-e.Window && a <= at+e.Window {
@@ -64,8 +62,14 @@ func (e *Ether) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (cl
 		e.arrivals[to] = q
 		return 0, false
 	}
+	// Insert at its sorted position by shifting the (short) tail: arrivals
+	// land almost in order, so this replaces the sort.Slice the old code ran
+	// per delivered copy — which allocated for the closure and re-sorted the
+	// whole window every time.
 	q = append(q, at)
-	sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+	for j := len(q) - 1; j > 0 && q[j-1] > q[j]; j-- {
+		q[j-1], q[j] = q[j], q[j-1]
+	}
 	e.arrivals[to] = q
 	return at, true
 }

@@ -1,27 +1,32 @@
 package sim
 
-import "container/heap"
-
 // event is a buffered message plus a sequence number for stable ordering.
 type event struct {
 	msg Message
 	seq uint64
 }
 
-// eventQueue orders events by delivery time; at equal times, ordinary (and
-// START) messages precede TIMER messages — execution property 4 of §2.3
-// ("messages that arrive at the same time as a timer is due to go off get in
-// just under the wire") — and ties beyond that break by insertion order.
+// eventQueue is a 4-ary min-heap of event values ordered by delivery time; at
+// equal times, ordinary (and START) messages precede TIMER messages —
+// execution property 4 of §2.3 ("messages that arrive at the same time as a
+// timer is due to go off get in just under the wire") — and ties beyond that
+// break by insertion order. The sequence number makes the order total, so the
+// pop sequence is independent of heap shape or arity.
+//
+// The queue is deliberately not a container/heap.Interface: heap.Push(x any)
+// boxes every event into an interface value, which costs one heap allocation
+// per scheduled message. Here events live as values in a single backing
+// array, and that array doubles as the free list — a popped slot is zeroed
+// (releasing its Payload reference to the GC) and recycled by the next push,
+// so the steady-state engine schedules timers and messages with no per-event
+// allocation at all. The 4-ary layout halves tree depth versus a binary heap
+// and scans each node's children within one cache line.
 type eventQueue struct {
 	items []event
 }
 
-var _ heap.Interface = (*eventQueue)(nil)
-
-func (q *eventQueue) Len() int { return len(q.items) }
-
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+// less orders a before b by (DeliverAt, non-TIMER first, seq).
+func (q *eventQueue) less(a, b *event) bool {
 	if a.msg.DeliverAt != b.msg.DeliverAt {
 		return a.msg.DeliverAt < b.msg.DeliverAt
 	}
@@ -32,33 +37,79 @@ func (q *eventQueue) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) len() int { return len(q.items) }
 
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+// grow pre-sizes the backing array (the free list) to capacity c, so engine
+// start-up absorbs the growth reallocations instead of the event loop.
+func (q *eventQueue) grow(c int) {
+	if cap(q.items) < c {
+		items := make([]event, len(q.items), c)
+		copy(items, q.items)
+		q.items = items
+	}
+}
 
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
+// push enqueues ev, sifting it up from the first free slot.
+func (q *eventQueue) push(ev event) {
+	q.items = append(q.items, ev)
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(&q.items[i], &q.items[p]) {
+			break
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+// peek returns the minimum event, or nil when the queue is empty. The pointer
+// is valid only until the next push or pop.
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return &q.items[0]
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is zeroed
+// so the free list holds no stale Payload references.
+func (q *eventQueue) pop() event {
+	items := q.items
+	min := items[0]
+	n := len(items) - 1
+	items[0] = items[n]
+	items[n] = event{}
+	items = items[:n]
+	q.items = items
+
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := i
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if q.less(&items[c], &items[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		items[i], items[best] = items[best], items[i]
+		i = best
+	}
+	return min
 }
 
 // push enqueues a message with the next sequence number.
 func (e *Engine) push(m Message) {
-	heap.Push(&e.queue, event{msg: m, seq: e.seq})
+	e.queue.push(event{msg: m, seq: e.seq})
 	e.seq++
-}
-
-// peek returns the next message without removing it.
-func (e *Engine) peek() (Message, bool) {
-	if e.queue.Len() == 0 {
-		return Message{}, false
-	}
-	return e.queue.items[0].msg, true
-}
-
-// pop removes and returns the next message.
-func (e *Engine) pop() Message {
-	return heap.Pop(&e.queue).(event).msg
 }

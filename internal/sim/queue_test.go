@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// genEvent builds a random event with the given sequence number. Delivery
+// times are drawn from a handful of discrete values so kind and sequence
+// tie-breaks are exercised constantly.
+func genEvent(rng *rand.Rand, seq uint64) event {
+	kinds := [...]Kind{KindOrdinary, KindStart, KindTimer}
+	return event{
+		msg: Message{
+			Kind:      kinds[rng.Intn(len(kinds))],
+			From:      ProcID(rng.Intn(4)),
+			To:        ProcID(rng.Intn(4)),
+			DeliverAt: clock.Real(rng.Intn(7)),
+		},
+		seq: seq,
+	}
+}
+
+// TestQueueMatchesNaiveSort cross-checks the 4-ary heap against a naive
+// reference: under random push/pop interleavings, every pop must return
+// exactly the minimum of the outstanding events in (DeliverAt, non-TIMER
+// first, seq) order — the order a plain sort of the same events produces.
+func TestQueueMatchesNaiveSort(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		total := 1 + rng.Intn(200)
+
+		var q eventQueue
+		var pending []event // naive mirror of the queue's contents
+		popCheck := func() {
+			min := 0
+			for i := range pending {
+				if q.less(&pending[i], &pending[min]) {
+					min = i
+				}
+			}
+			want := pending[min]
+			pending = append(pending[:min], pending[min+1:]...)
+			got := q.pop()
+			if got.seq != want.seq {
+				t.Fatalf("seed %d: pop returned seq %d (t=%v %v), naive min is seq %d (t=%v %v)",
+					seed, got.seq, got.msg.DeliverAt, got.msg.Kind,
+					want.seq, want.msg.DeliverAt, want.msg.Kind)
+			}
+		}
+
+		pushed := 0
+		for pushed < total {
+			if len(pending) > 0 && rng.Intn(3) == 0 {
+				popCheck()
+				continue
+			}
+			ev := genEvent(rng, uint64(pushed))
+			q.push(ev)
+			pending = append(pending, ev)
+			pushed++
+		}
+
+		// Drain what is left and compare the full pop sequence against a
+		// sorted copy in one shot.
+		ref := make([]event, len(pending))
+		copy(ref, pending)
+		sort.Slice(ref, func(i, j int) bool { return q.less(&ref[i], &ref[j]) })
+		for _, want := range ref {
+			if got := q.pop(); got.seq != want.seq {
+				t.Fatalf("seed %d: drain order diverges from naive sort: got seq %d, want %d",
+					seed, got.seq, want.seq)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("seed %d: queue not empty after drain", seed)
+		}
+	}
+}
+
+// TestQueuePopReleasesPayload checks the free-list hygiene: the slot a pop
+// vacates must not pin the message payload.
+func TestQueuePopReleasesPayload(t *testing.T) {
+	var q eventQueue
+	q.push(event{msg: Message{Payload: "x", DeliverAt: 1}})
+	q.push(event{msg: Message{Payload: "y", DeliverAt: 2}})
+	q.pop()
+	q.pop()
+	for i := 0; i < cap(q.items); i++ {
+		if q.items[:cap(q.items)][i].msg.Payload != nil {
+			t.Fatalf("free-list slot %d still holds payload %v", i, q.items[:cap(q.items)][i].msg.Payload)
+		}
+	}
+}
+
+// TestQueueGrowPreservesContents checks that pre-sizing the free list keeps
+// already-queued events intact.
+func TestQueueGrowPreservesContents(t *testing.T) {
+	var q eventQueue
+	q.push(event{msg: Message{DeliverAt: 2}, seq: 0})
+	q.push(event{msg: Message{DeliverAt: 1}, seq: 1})
+	q.grow(64)
+	if cap(q.items) < 64 {
+		t.Fatalf("cap = %d after grow(64)", cap(q.items))
+	}
+	if ev := q.pop(); ev.seq != 1 {
+		t.Fatalf("pop after grow returned seq %d, want 1", ev.seq)
+	}
+	if ev := q.pop(); ev.seq != 0 {
+		t.Fatalf("pop after grow returned seq %d, want 0", ev.seq)
+	}
+}

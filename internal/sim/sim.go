@@ -20,6 +20,16 @@
 // Setting a timer for a physical-clock value T places a TIMER message with
 // delivery time Ph⁻¹(T) in the buffer, unless that real time has passed, in
 // which case nothing is placed (§2.2).
+//
+// The event loop is the per-trial hot path of every experiment, so it is
+// built to run allocation-free in the steady state: the queue is a concrete
+// 4-ary heap of event values (no interface boxing), one Context per engine is
+// reused across deliveries, observers are classified into typed slices at
+// registration time (no per-event type assertions), and delay sampling draws
+// from an inline splitmix64 stream. The no-observer steady state performs
+// zero allocations per delivered event (enforced in CI by
+// TestEngineSteadyStateAllocs in internal/bench, which gates the same
+// workload the engine benchmarks measure).
 package sim
 
 import (
@@ -95,19 +105,32 @@ type CorrHolder interface {
 	Corr() clock.Local
 }
 
-// Observer receives engine callbacks. Sample is called twice per action —
-// immediately before the configuration changes and immediately after — which
-// brackets every linear segment of every local-time function, so a sampling
-// observer sees the exact extremes of piecewise-linear quantities such as
-// pairwise skew.
-type Observer interface {
+// Observer is anything the engine can call back into. Capabilities are
+// declared by implementing one or more of Sampler, AnnotationSink and
+// DeliveryObserver; Observe classifies each observer once, at registration
+// time, so the event loop dispatches through pre-typed slices with no
+// per-event type assertions and skips callback fan-outs that have no
+// listeners entirely. (Before this split, every observer carried no-op stubs
+// for the callbacks it did not use, and the engine paid the full dynamic
+// fan-out twice per action even when nothing was listening.)
+type Observer = any
+
+// Sampler is called twice per action — immediately before the configuration
+// changes and immediately after — which brackets every linear segment of
+// every local-time function, so a sampling observer sees the exact extremes
+// of piecewise-linear quantities such as pairwise skew.
+type Sampler interface {
 	Sample(e *Engine, preDeliver bool)
+}
+
+// AnnotationSink receives every measurement emitted by a process, already
+// timestamped with real time by the engine.
+type AnnotationSink interface {
 	OnAnnotation(e *Engine, a Annotation)
 }
 
-// DeliveryObserver is an optional extension of Observer: implementations
-// additionally receive every delivered message (used by the execution
-// tracer). Checked dynamically so existing observers need not implement it.
+// DeliveryObserver receives every delivered message (used by the execution
+// tracer).
 type DeliveryObserver interface {
 	OnDeliver(e *Engine, m Message)
 }
@@ -137,18 +160,26 @@ type Config struct {
 
 // Engine executes a system configuration event by event.
 type Engine struct {
-	procs    []Process
-	clocks   []clock.Clock
-	faulty   []bool
-	delay    DelayModel
-	channel  Channel
-	rng      *rand.Rand
-	queue    eventQueue
-	now      clock.Real
-	seq      uint64
-	steps    int
-	maxSteps int
-	obs      []Observer
+	procs     []Process
+	clocks    []clock.Clock
+	faulty    []bool
+	nonfaulty []ProcID     // cached ids of non-faulty processes (fixed at New)
+	corr      []CorrHolder // per-process CorrHolder, asserted once at New (nil if none)
+	delay     DelayModel
+	channel   Channel
+	seed      int64
+	rng       RNG          // delay-sampling stream (splitmix64)
+	prand     []*rand.Rand // per-process Context.Rand streams, built lazily
+	queue     eventQueue
+	now       clock.Real
+	seq       uint64
+	steps     int
+	maxSteps  int
+	ctx       Context // one reusable per-delivery context per engine
+
+	samplers []Sampler
+	annots   []AnnotationSink
+	delivery []DeliveryObserver
 
 	msgsSent     int64 // ordinary message copies scheduled
 	msgsLost     int64 // copies dropped by the channel
@@ -186,8 +217,8 @@ func New(cfg Config) (*Engine, error) {
 	if delay == nil {
 		return nil, errors.New("sim: nil delay model")
 	}
-	if d, e := delay.Bounds(); d < e || e < 0 || d-e < 0 {
-		return nil, fmt.Errorf("sim: delay bounds δ=%v ε=%v violate assumption A3 (0 ≤ δ−ε, ε ≥ 0)", d, e)
+	if d, eps := delay.Bounds(); d < eps || eps < 0 {
+		return nil, fmt.Errorf("sim: delay bounds δ=%v ε=%v violate assumption A3 (0 ≤ ε ≤ δ)", d, eps)
 	}
 	ch := cfg.Channel
 	if ch == nil {
@@ -207,9 +238,27 @@ func New(cfg Config) (*Engine, error) {
 		faulty:   faulty,
 		delay:    delay,
 		channel:  ch,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		seed:     cfg.Seed,
+		rng:      NewRNG(cfg.Seed),
+		prand:    make([]*rand.Rand, n),
 		maxSteps: maxSteps,
 	}
+	e.ctx.eng = e
+	e.corr = make([]CorrHolder, n)
+	for i, p := range cfg.Procs {
+		if h, ok := p.(CorrHolder); ok {
+			e.corr[i] = h
+		}
+	}
+	e.nonfaulty = make([]ProcID, 0, n)
+	for i, f := range faulty {
+		if !f {
+			e.nonfaulty = append(e.nonfaulty, ProcID(i))
+		}
+	}
+	// Pre-size the queue's free list: a broadcast round keeps about n²
+	// copies plus one timer per process in flight.
+	e.queue.grow(n*n + 2*n + 8)
 	for i := 0; i < n; i++ {
 		e.push(Message{
 			From:      ProcID(i),
@@ -222,8 +271,27 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Observe registers an observer. Must be called before Run.
-func (e *Engine) Observe(o Observer) { e.obs = append(e.obs, o) }
+// Observe registers an observer, classifying it once by capability. Must be
+// called before Run. It panics if o implements none of the observer
+// interfaces — such a registration would silently observe nothing.
+func (e *Engine) Observe(o Observer) {
+	matched := false
+	if s, ok := o.(Sampler); ok {
+		e.samplers = append(e.samplers, s)
+		matched = true
+	}
+	if a, ok := o.(AnnotationSink); ok {
+		e.annots = append(e.annots, a)
+		matched = true
+	}
+	if d, ok := o.(DeliveryObserver); ok {
+		e.delivery = append(e.delivery, d)
+		matched = true
+	}
+	if !matched {
+		panic(fmt.Sprintf("sim: Observe(%T): type implements none of Sampler, AnnotationSink, DeliveryObserver", o))
+	}
+}
 
 // N returns the number of processes.
 func (e *Engine) N() int { return len(e.procs) }
@@ -248,16 +316,11 @@ func (e *Engine) TimersLapsed() int64 { return e.timersLapsed }
 // Faulty reports whether p is marked faulty in the configuration.
 func (e *Engine) Faulty(p ProcID) bool { return e.faulty[p] }
 
-// NonfaultyIDs returns the ids of processes not marked faulty.
-func (e *Engine) NonfaultyIDs() []ProcID {
-	ids := make([]ProcID, 0, len(e.procs))
-	for i := range e.procs {
-		if !e.faulty[i] {
-			ids = append(ids, ProcID(i))
-		}
-	}
-	return ids
-}
+// NonfaultyIDs returns the ids of processes not marked faulty. The slice is
+// computed once at New (the fault assignment is fixed for the execution) and
+// shared: callers must not modify it. Rebuilding it allocated on every
+// metrics sample, which dominated the observer hot path.
+func (e *Engine) NonfaultyIDs() []ProcID { return e.nonfaulty }
 
 // PhysTime returns Ph_p(t).
 func (e *Engine) PhysTime(p ProcID, t clock.Real) clock.Local {
@@ -267,11 +330,11 @@ func (e *Engine) PhysTime(p ProcID, t clock.Real) clock.Local {
 // LocalTime returns L_p(t) = Ph_p(t) + CORR_p for the process's current CORR
 // value. ok is false if the process does not expose a correction variable.
 func (e *Engine) LocalTime(p ProcID, t clock.Real) (clock.Local, bool) {
-	ch, ok := e.procs[p].(CorrHolder)
-	if !ok {
+	h := e.corr[p]
+	if h == nil {
 		return 0, false
 	}
-	return e.clocks[p].At(t) + ch.Corr(), true
+	return e.clocks[p].At(t) + h.Corr(), true
 }
 
 // Process returns the automaton of p (used by tests and metrics).
@@ -282,8 +345,8 @@ func (e *Engine) Process(p ProcID) Process { return e.procs[p] }
 // repeatedly with increasing horizons.
 func (e *Engine) Run(until clock.Real) error {
 	for {
-		m, ok := e.peek()
-		if !ok || m.DeliverAt > until {
+		ev := e.queue.peek()
+		if ev == nil || ev.msg.DeliverAt > until {
 			// Advance the clock to the horizon so metrics sampled at
 			// e.Now() reflect the full interval.
 			if e.now < until {
@@ -295,37 +358,35 @@ func (e *Engine) Run(until clock.Real) error {
 		if e.steps >= e.maxSteps {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxSteps, e.now)
 		}
-		e.pop()
+		m := e.queue.pop().msg
 		e.now = m.DeliverAt
 		e.steps++
 		e.sample(true) // configuration immediately before the action
-		for _, o := range e.obs {
-			if d, ok := o.(DeliveryObserver); ok {
-				d.OnDeliver(e, m)
-			}
+		for _, d := range e.delivery {
+			d.OnDeliver(e, m)
 		}
-		ctx := &Context{eng: e, pid: m.To}
-		e.procs[m.To].Receive(ctx, m)
+		e.ctx.pid = m.To
+		e.procs[m.To].Receive(&e.ctx, m)
 		e.sample(false) // configuration immediately after the action
 	}
 }
 
 func (e *Engine) sample(pre bool) {
-	for _, o := range e.obs {
-		o.Sample(e, pre)
+	for _, s := range e.samplers {
+		s.Sample(e, pre)
 	}
 }
 
 func (e *Engine) annotate(p ProcID, tag string, v float64) {
 	a := Annotation{At: e.now, Proc: p, Tag: tag, Value: v}
-	for _, o := range e.obs {
-		o.OnAnnotation(e, a)
+	for _, s := range e.annots {
+		s.OnAnnotation(e, a)
 	}
 }
 
 // send schedules one ordinary message copy.
 func (e *Engine) send(from, to ProcID, payload any) {
-	base := e.delay.Sample(from, to, e.now, e.rng)
+	base := e.delay.Sample(from, to, e.now, &e.rng)
 	at, ok := e.channel.Route(from, to, e.now, base)
 	if !ok {
 		e.msgsLost++
@@ -350,7 +411,8 @@ func (e *Engine) setTimer(p ProcID, T clock.Local, payload any) {
 // Context is the interface a process step has to the system: its identity,
 // its physical clock reading, and the actions the model allows (send,
 // broadcast, set a timer). A Context is valid only for the duration of the
-// Receive call it was passed to.
+// Receive call it was passed to; the engine reuses one context across
+// deliveries, so a process must never retain it.
 type Context struct {
 	eng *Engine
 	pid ProcID
@@ -385,9 +447,19 @@ func (c *Context) SetTimer(T clock.Local, payload any) { c.eng.setTimer(c.pid, T
 // Annotate emits a measurement observers can timestamp with real time.
 func (c *Context) Annotate(tag string, v float64) { c.eng.annotate(c.pid, tag, v) }
 
-// Rand returns a deterministic per-process random source (used by randomized
-// fault strategies; nonfaulty algorithms in this repository are
-// deterministic and never call it).
+// Rand returns the process's deterministic random source (used by randomized
+// fault strategies; nonfaulty algorithms in this repository are deterministic
+// and never call it). The generator is created on first use, seeded from the
+// engine seed and the process id, and cached for the rest of the execution,
+// so consecutive calls continue one stream. (It was previously re-seeded from
+// (pid, step count) on every call, which made two calls within a single
+// Receive return identical values.)
 func (c *Context) Rand() *rand.Rand {
-	return rand.New(rand.NewSource(int64(c.pid)*7_919 + int64(c.eng.steps)))
+	e := c.eng
+	if r := e.prand[c.pid]; r != nil {
+		return r
+	}
+	r := rand.New(rand.NewSource(procSeed(e.seed, c.pid)))
+	e.prand[c.pid] = r
+	return r
 }

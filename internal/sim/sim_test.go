@@ -60,7 +60,9 @@ func TestNewValidation(t *testing.T) {
 		{"nil process", func(c *Config) { c.Procs = []Process{nil} }},
 		{"nil clock", func(c *Config) { c.Clocks = []clock.Clock{nil} }},
 		{"nil delay", func(c *Config) { c.Delay = nil }},
-		{"delay violates A3", func(c *Config) { c.Delay = UniformDelay{Delta: 1, Eps: 2} }},
+		{"delay violates A3: eps above delta", func(c *Config) { c.Delay = UniformDelay{Delta: 1, Eps: 2} }},
+		{"delay violates A3: negative eps", func(c *Config) { c.Delay = UniformDelay{Delta: 1, Eps: -0.5} }},
+		{"delay violates A3: negative delta", func(c *Config) { c.Delay = ConstantDelay{Delta: -1} }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -73,6 +75,12 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(good); err != nil {
 		t.Errorf("good config rejected: %v", err)
+	}
+	// δ = ε (zero lower edge) is the boundary A3 still allows.
+	edge := good
+	edge.Delay = UniformDelay{Delta: 1, Eps: 1}
+	if _, err := New(edge); err != nil {
+		t.Errorf("boundary δ=ε rejected: %v", err)
 	}
 }
 
@@ -386,7 +394,8 @@ func TestAnnotationsAndSampling(t *testing.T) {
 }
 
 func TestDelayModelsWithinBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRNG(1)
+	pick := NewRNG(2)
 	models := []DelayModel{
 		ConstantDelay{Delta: 0.01},
 		UniformDelay{Delta: 0.01, Eps: 0.002},
@@ -396,8 +405,8 @@ func TestDelayModelsWithinBounds(t *testing.T) {
 	for _, m := range models {
 		delta, eps := m.Bounds()
 		for i := 0; i < 200; i++ {
-			from, to := ProcID(rng.Intn(8)), ProcID(rng.Intn(8))
-			d := m.Sample(from, to, clock.Real(rng.Float64()*100), rng)
+			from, to := ProcID(pick.Intn(8)), ProcID(pick.Intn(8))
+			d := m.Sample(from, to, clock.Real(pick.Float64()*100), &rng)
 			if d < delta-eps-1e-12 || d > delta+eps+1e-12 {
 				t.Fatalf("%T: delay %v outside [%v, %v]", m, d, delta-eps, delta+eps)
 			}
@@ -407,13 +416,13 @@ func TestDelayModelsWithinBounds(t *testing.T) {
 
 func TestPerLinkDelayDeterministic(t *testing.T) {
 	m := PerLinkDelay{Delta: 0.01, Eps: 0.002, Seed: 5}
-	rng := rand.New(rand.NewSource(0))
-	a := m.Sample(1, 2, 0, rng)
-	b := m.Sample(1, 2, 99, rng)
+	rng := NewRNG(0)
+	a := m.Sample(1, 2, 0, &rng)
+	b := m.Sample(1, 2, 99, &rng)
 	if a != b {
 		t.Error("per-link delay not stable across time")
 	}
-	c := m.Sample(2, 1, 0, rng)
+	c := m.Sample(2, 1, 0, &rng)
 	if a == c {
 		t.Error("per-link delay should be asymmetric in general")
 	}
@@ -421,11 +430,11 @@ func TestPerLinkDelayDeterministic(t *testing.T) {
 
 func TestExtremalDelayCustomSplit(t *testing.T) {
 	m := ExtremalDelay{Delta: 0.01, Eps: 0.001, SlowTo: func(_, to ProcID) bool { return to == 3 }}
-	rng := rand.New(rand.NewSource(0))
-	if got := m.Sample(0, 3, 0, rng); math.Abs(got-0.011) > 1e-15 {
+	rng := NewRNG(0)
+	if got := m.Sample(0, 3, 0, &rng); math.Abs(got-0.011) > 1e-15 {
 		t.Errorf("slow recipient delay = %v, want 0.011", got)
 	}
-	if got := m.Sample(0, 2, 0, rng); math.Abs(got-0.009) > 1e-15 {
+	if got := m.Sample(0, 2, 0, &rng); math.Abs(got-0.009) > 1e-15 {
 		t.Errorf("fast recipient delay = %v, want 0.009", got)
 	}
 }
@@ -446,8 +455,8 @@ func TestQueueOrderingProperty(t *testing.T) {
 		}
 		var last Message
 		first := true
-		for e.queue.Len() > 0 {
-			m := e.pop()
+		for e.queue.len() > 0 {
+			m := e.queue.pop().msg
 			if !first {
 				if m.DeliverAt < last.DeliverAt {
 					return false
@@ -507,6 +516,120 @@ func TestEtherBufferDepth(t *testing.T) {
 	}
 	if delivered != 3 {
 		t.Errorf("delivered %d of 5 simultaneous copies, want buffer depth 3", delivered)
+	}
+}
+
+// TestContextRandDistinctWithinReceive is the regression test for the old
+// Context.Rand bug: the generator was re-seeded from (pid, step count) on
+// every call, so two draws within one Receive returned identical values.
+func TestContextRandDistinctWithinReceive(t *testing.T) {
+	var draws []float64
+	rec := &recorder{}
+	rec.onStart = func(ctx *Context) {
+		draws = append(draws, ctx.Rand().Float64(), ctx.Rand().Float64())
+	}
+	e, err := New(Config{
+		Procs:   []Process{rec},
+		Clocks:  perfectClocks(1),
+		StartAt: starts(1, 0),
+		Delay:   ConstantDelay{Delta: 0.01},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(draws) != 2 {
+		t.Fatalf("recorded %d draws, want 2", len(draws))
+	}
+	if draws[0] == draws[1] {
+		t.Fatalf("two Rand() draws within one Receive are identical (%v): per-call re-seeding bug is back", draws[0])
+	}
+}
+
+// TestContextRandDeterministicAndPerProcess checks the replacement contract:
+// streams depend only on (engine seed, pid) — reproducible across runs,
+// separated across processes.
+func TestContextRandDeterministicAndPerProcess(t *testing.T) {
+	run := func(seed int64) [][]float64 {
+		n := 3
+		out := make([][]float64, n)
+		procs := make([]Process, n)
+		for i := 0; i < n; i++ {
+			i := i
+			r := &recorder{}
+			r.onStart = func(ctx *Context) {
+				for k := 0; k < 4; k++ {
+					out[i] = append(out[i], ctx.Rand().Float64())
+				}
+			}
+			procs[i] = r
+		}
+		e, err := New(Config{
+			Procs:   procs,
+			Clocks:  perfectClocks(n),
+			StartAt: starts(n, 0),
+			Delay:   ConstantDelay{Delta: 0.01},
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatalf("process %d draw %d differs across identical runs", i, k)
+			}
+		}
+	}
+	if a[0][0] == a[1][0] && a[0][1] == a[1][1] {
+		t.Error("processes 0 and 1 share a stream")
+	}
+	c := run(12)
+	if a[0][0] == c[0][0] && a[0][1] == c[0][1] {
+		t.Error("engine seed does not reach per-process streams")
+	}
+}
+
+// TestObserveClassification checks the registration-time split: a type
+// implementing only some observer interfaces is called back only on those,
+// and registering a type implementing none panics instead of silently
+// observing nothing.
+func TestObserveClassification(t *testing.T) {
+	rec := &recorder{}
+	rec.onStart = func(ctx *Context) { ctx.Annotate("a", 1) }
+	e, err := New(Config{
+		Procs:   []Process{rec},
+		Clocks:  perfectClocks(1),
+		StartAt: starts(1, 0),
+		Delay:   ConstantDelay{Delta: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &annObserver{}
+	e.Observe(obs)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Observe of a non-observer did not panic")
+			}
+		}()
+		e.Observe(42)
+	}()
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.anns) != 1 || obs.pre == 0 {
+		t.Errorf("classified observer missed callbacks: anns=%d pre=%d", len(obs.anns), obs.pre)
 	}
 }
 

@@ -37,7 +37,7 @@ type Tracer struct {
 const defaultTraceLimit = 10_000
 
 var (
-	_ Observer         = (*Tracer)(nil)
+	_ AnnotationSink   = (*Tracer)(nil)
 	_ DeliveryObserver = (*Tracer)(nil)
 )
 
@@ -48,9 +48,6 @@ func NewTracer(limit int) *Tracer {
 	}
 	return &Tracer{Limit: limit, Only: -1}
 }
-
-// Sample implements Observer.
-func (t *Tracer) Sample(*Engine, bool) {}
 
 // OnDeliver implements DeliveryObserver.
 func (t *Tracer) OnDeliver(e *Engine, m Message) {
@@ -71,7 +68,7 @@ func (t *Tracer) OnDeliver(e *Engine, m Message) {
 	})
 }
 
-// OnAnnotation implements Observer.
+// OnAnnotation implements AnnotationSink.
 func (t *Tracer) OnAnnotation(e *Engine, a Annotation) {
 	if t.Only >= 0 && a.Proc != t.Only {
 		return
