@@ -29,9 +29,11 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		markdown = flag.Bool("md", false, "render tables as markdown")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		big      = flag.Bool("big", true, "include the large sweep rows (E05 f>4, E09 n>31, E17 n=13)")
 	)
 	flag.Parse()
 	runner.SetDefaultWorkers(*workers)
+	exp.SetBigSweeps(*big)
 
 	if *list {
 		for _, e := range exp.All() {

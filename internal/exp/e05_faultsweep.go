@@ -18,35 +18,12 @@ func init() {
 	})
 }
 
-// faultMix builds `count` faulty processes of the named strategy occupying
-// the top ids of an n-process system.
-func faultMix(cfg core.Config, strategy string, count, n int) map[sim.ProcID]func() sim.Process {
-	mix := make(map[sim.ProcID]func() sim.Process, count)
-	for i := 0; i < count; i++ {
-		id := sim.ProcID(n - 1 - i)
-		switch strategy {
-		case "silent":
-			mix[id] = func() sim.Process { return faults.Silent{} }
-		case "two-faced":
-			mix[id] = func() sim.Process {
-				return &faults.TwoFaced{Cfg: cfg, Lead: 4e-3, Lag: 4e-3}
-			}
-		case "noise":
-			mix[id] = func() sim.Process { return &faults.Noise{Cfg: cfg, Burst: 3} }
-		case "stale-replay":
-			mix[id] = func() sim.Process { return &faults.StaleReplay{Cfg: cfg, Offset: 4e-3} }
-		case "crash-mid-run":
-			mix[id] = func() sim.Process {
-				return &faults.CrashAfter{Inner: core.NewProc(cfg, 0), At: 5}
-			}
-		}
-	}
-	return mix
-}
-
 // runE05 sweeps f for n = 3f+1 across fault strategies (agreement must
 // hold), then runs f+1 adversaries in an f-sized system (agreement may
-// fail — the [DHS] boundary).
+// fail — the [DHS] boundary). The strategies come from the adversary
+// registry in internal/faults (the full registry is crossed with the
+// invariant checkers in E17; this sweep tracks the skew numbers for the
+// original five behaviors as f grows).
 func runE05() ([]*Table, error) {
 	strategies := []string{"silent", "two-faced", "noise", "stale-replay", "crash-mid-run"}
 
@@ -60,8 +37,13 @@ func runE05() ([]*Table, error) {
 		f, n     int
 		strategy string
 	}
+	fs := []int{1, 2, 3, 4}
+	if BigSweeps() {
+		// Cheap since the parallel runner + zero-alloc engine: n up to 25.
+		fs = append(fs, 6, 8)
+	}
 	var points []point
-	for _, f := range []int{1, 2, 3, 4} {
+	for _, f := range fs {
 		for _, s := range strategies {
 			points = append(points, point{f: f, n: 3*f + 1, strategy: s})
 		}
@@ -71,7 +53,12 @@ func runE05() ([]*Table, error) {
 		Params: points,
 		Build: func(p point) (Workload, error) {
 			cfg := core.Config{Params: analysis.Default(p.n, p.f)}
-			return Workload{Cfg: cfg, Rounds: 12, Faults: faultMix(cfg, p.strategy, p.f, p.n), Seed: 3}, nil
+			s, err := faults.ByName(p.strategy)
+			if err != nil {
+				return Workload{}, err
+			}
+			mix := faults.Mix(s, cfg, faults.TopIDs(p.f, p.n), 3)
+			return Workload{Cfg: cfg, Rounds: 12, Faults: mix, Seed: 3}, nil
 		},
 		Each: func(p point, w Workload, res *Result) error {
 			meas := res.Skew.MaxAfterWarmup()

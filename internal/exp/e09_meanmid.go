@@ -36,8 +36,13 @@ func runE09() ([]*Table, error) {
 	}
 	// The contraction measurements run in the synchronous substrate rather
 	// than through a Workload, so they go straight onto the worker pool —
-	// one job per (n, averager) so the slow n=31 runs don't serialize.
+	// one job per (n, averager) so the slow runs don't serialize.
 	ns := []int{4, 8, 16, 31}
+	if BigSweeps() {
+		// The mean's f/(n−2f) rate keeps shrinking as n grows; track it
+		// into the hundreds now that large sweeps are cheap.
+		ns = append(ns, 63, 101)
+	}
 	averagers := []agreement.Averager{agreement.Mean, agreement.Midpoint}
 	measured, err := runner.Map(0, len(ns)*len(averagers), func(i int) (float64, error) {
 		return contraction(ns[i/len(averagers)], 1, averagers[i%len(averagers)])
@@ -63,8 +68,12 @@ func runE09() ([]*Table, error) {
 		n  int
 		av core.Averager
 	}
+	bns := []int{4, 10, 16}
+	if BigSweeps() {
+		bns = append(bns, 32, 48)
+	}
 	var points []trial
-	for _, n := range []int{4, 10, 16} {
+	for _, n := range bns {
 		points = append(points, trial{n: n, av: core.Midpoint}, trial{n: n, av: core.Mean})
 	}
 	var midSkew float64

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -54,6 +55,11 @@ type Workload struct {
 	// Observers are registered with the engine in addition to the standard
 	// recorders (e.g. a sim.Tracer).
 	Observers []sim.Observer
+
+	// CheckInvariants attaches the paper's theorem predicates
+	// (internal/invariant: agreement, validity, monotonicity, adjustment
+	// bound) as engine observers; the verdicts land in Result.Invariants.
+	CheckInvariants bool
 }
 
 // Result bundles the engine and the recorders after a run.
@@ -63,6 +69,8 @@ type Result struct {
 	Rounds   *metrics.RoundRecorder
 	Validity *metrics.ValidityRecorder
 	Horizon  clock.Real
+	// Invariants is non-nil when the workload set CheckInvariants.
+	Invariants *invariant.Suite
 }
 
 // Run assembles and executes the workload, returning the recorders.
@@ -173,6 +181,13 @@ func Run(w Workload) (*Result, error) {
 	eng.Observe(skew)
 	eng.Observe(rrec)
 	eng.Observe(vrec)
+	var suite *invariant.Suite
+	if w.CheckInvariants {
+		suite = invariant.NewSuite(cfg.Params, tmin0, tmax0, skew.Warmup)
+		for _, o := range suite.Observers() {
+			eng.Observe(o)
+		}
+	}
 	for _, o := range w.Observers {
 		eng.Observe(o)
 	}
@@ -180,5 +195,5 @@ func Run(w Workload) (*Result, error) {
 	if err := eng.Run(horizon); err != nil {
 		return nil, fmt.Errorf("exp: run: %w", err)
 	}
-	return &Result{Engine: eng, Skew: skew, Rounds: rrec, Validity: vrec, Horizon: horizon}, nil
+	return &Result{Engine: eng, Skew: skew, Rounds: rrec, Validity: vrec, Horizon: horizon, Invariants: suite}, nil
 }

@@ -1,0 +1,18 @@
+package exp
+
+import "sync/atomic"
+
+// bigSweepsOn gates the large parameter points of the sweep experiments
+// (E05 beyond f = 4, E09 beyond n = 31, the E17 conformance grid's largest
+// systems). They are enabled by default so cmd/experiments regenerates the
+// full tables; the test harness turns them off under -short so the quick
+// loop stays quick (see TestMain in golden_test.go).
+var bigSweepsOn atomic.Bool
+
+func init() { bigSweepsOn.Store(true) }
+
+// SetBigSweeps enables or disables the large sweep rows.
+func SetBigSweeps(on bool) { bigSweepsOn.Store(on) }
+
+// BigSweeps reports whether the large sweep rows are enabled.
+func BigSweeps() bool { return bigSweepsOn.Load() }

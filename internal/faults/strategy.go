@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Strategy is a named, pluggable Byzantine behavior: given the algorithm
+// configuration, the faulty member ids, and a seed, it builds one automaton
+// per member. Members may share state (colluding cliques do), which is why
+// the whole group is built in one call rather than per process.
+//
+// The registry below is the adversary space the conformance harness
+// (experiment E17) sweeps: every registered strategy must be tolerated by
+// the algorithm at f < n/3, per the paper's central claim that the bound
+// holds against *any* Byzantine behavior.
+type Strategy struct {
+	Name string
+	// Desc is a one-line description for docs and tables.
+	Desc string
+	// Build returns one faulty automaton per member. Defaults inside the
+	// built automata are derived from cfg so strategies scale across the
+	// (n, f) grid; seed parameterizes randomized strategies.
+	Build func(cfg core.Config, members []sim.ProcID, seed int64) []sim.Process
+}
+
+var (
+	stratMu    sync.Mutex
+	strategies = map[string]Strategy{}
+)
+
+// Register adds a strategy to the conformance registry. Duplicate names are
+// a programmer error.
+func Register(s Strategy) {
+	stratMu.Lock()
+	defer stratMu.Unlock()
+	if s.Name == "" || s.Build == nil {
+		panic("faults: Register: strategy needs a name and a builder")
+	}
+	if _, dup := strategies[s.Name]; dup {
+		panic("faults: duplicate strategy " + s.Name)
+	}
+	strategies[s.Name] = s
+}
+
+// Strategies returns every registered strategy sorted by name.
+func Strategies() []Strategy {
+	stratMu.Lock()
+	defer stratMu.Unlock()
+	out := make([]Strategy, 0, len(strategies))
+	for _, s := range strategies {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName looks up one strategy.
+func ByName(name string) (Strategy, error) {
+	stratMu.Lock()
+	defer stratMu.Unlock()
+	s, ok := strategies[name]
+	if !ok {
+		return Strategy{}, fmt.Errorf("faults: unknown strategy %q", name)
+	}
+	return s, nil
+}
+
+// TopIDs returns the conventional fault placement used throughout the
+// experiments: the top `count` ids of an n-process system.
+func TopIDs(count, n int) []sim.ProcID {
+	ids := make([]sim.ProcID, count)
+	for i := range ids {
+		ids[i] = sim.ProcID(n - 1 - i)
+	}
+	return ids
+}
+
+// Mix renders a strategy into the experiment harness's fault-map shape:
+// process builders keyed by id. The automata are built eagerly — members may
+// share state — and each closure hands out its member's instance, so the
+// returned map is one execution's fault set: build a fresh Mix per run
+// rather than reusing one across engines (the instances are stateful).
+func Mix(s Strategy, cfg core.Config, members []sim.ProcID, seed int64) map[sim.ProcID]func() sim.Process {
+	procs := s.Build(cfg, members, seed)
+	if len(procs) != len(members) {
+		panic(fmt.Sprintf("faults: strategy %s built %d automata for %d members", s.Name, len(procs), len(members)))
+	}
+	return MixProcs(members, procs)
+}
+
+// MixProcs is Mix for pre-built automata (e.g. a clique constructed directly
+// with custom tuning): member ids are paired with processes positionally.
+// The same single-use caveat as Mix applies.
+func MixProcs(members []sim.ProcID, procs []sim.Process) map[sim.ProcID]func() sim.Process {
+	if len(procs) != len(members) {
+		panic(fmt.Sprintf("faults: %d automata for %d members", len(procs), len(members)))
+	}
+	mix := make(map[sim.ProcID]func() sim.Process, len(members))
+	for i, id := range members {
+		p := procs[i]
+		mix[id] = func() sim.Process { return p }
+	}
+	return mix
+}
+
+// perMemberSeed spreads one strategy seed into well-separated member seeds
+// (plain splitmix64 increments; the streams themselves re-mix every draw).
+func perMemberSeed(seed int64, i int) int64 {
+	return seed + int64(i+1)*-0x61c8864680b583eb // golden-ratio increment
+}
+
+func init() {
+	Register(Strategy{
+		Name: "silent",
+		Desc: "never sends — the stale-entry case of Lemma 6",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = Silent{}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "crash-mid-run",
+		Desc: "honest until its physical clock reaches round 5, then dead",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = &CrashAfter{Inner: core.NewProc(cfg, 0), At: clock.Local(cfg.T0 + 5*cfg.P)}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "two-faced",
+		Desc: "delivers each round early to half the recipients, late to the rest",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			pull := cfg.Beta - cfg.Eps
+			for i := range out {
+				out[i] = &TwoFaced{Cfg: cfg, Lead: pull, Lag: pull}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "stale-replay",
+		Desc: "replays round 0's mark late every round — a stuck clock",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = &StaleReplay{Cfg: cfg, Offset: cfg.Beta - cfg.Eps}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "noise",
+		Desc: "floods random bogus marks at random times — a babbler",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = &Noise{Cfg: cfg, Burst: 3}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "clique",
+		Desc: "colluders share one per-round plan pulling a persistent split apart",
+		Build: func(cfg core.Config, members []sim.ProcID, seed int64) []sim.Process {
+			return NewClique(cfg, len(members), seed, CliqueTuning{})
+		},
+	})
+	Register(Strategy{
+		Name: "edge-rider",
+		Desc: "pins every arrival to an edge of the recipient's window (δ±ε riding)",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = &EdgeRider{Cfg: cfg}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "drift-max",
+		Desc: "virtual clock drifting at 200ρ, walking out of every window",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = &DriftMax{Cfg: cfg}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "flaky-rejoin",
+		Desc: "crash/recover loop replaying stale marks at each rejoin",
+		Build: func(cfg core.Config, members []sim.ProcID, _ int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				// Stagger duty cycles so members crash out of phase.
+				out[i] = &FlakyRejoin{Cfg: cfg, AliveRounds: 2 + i%2, DeadRounds: 2}
+			}
+			return out
+		},
+	})
+	Register(Strategy{
+		Name: "random-timing",
+		Desc: "per-recipient send offsets drawn from a seeded sim.RNG stream",
+		Build: func(cfg core.Config, members []sim.ProcID, seed int64) []sim.Process {
+			out := make([]sim.Process, len(members))
+			for i := range out {
+				out[i] = NewRandomTiming(cfg, perMemberSeed(seed, i), cfg.Beta+cfg.Eps, 0)
+			}
+			return out
+		},
+	})
+}

@@ -1,0 +1,213 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// corrProc is a scriptable CorrHolder: at each timer it applies the next
+// scripted correction delta (annotated as an adjustment) and re-arms.
+type corrProc struct {
+	corr   clock.Local
+	deltas []clock.Local
+	period clock.Local
+	step   int
+}
+
+func (p *corrProc) Receive(ctx *sim.Context, m sim.Message) {
+	if m.Kind == sim.KindOrdinary {
+		return
+	}
+	if m.Kind == sim.KindTimer && p.step < len(p.deltas) {
+		d := p.deltas[p.step]
+		p.corr += d
+		p.step++
+		ctx.Annotate(metrics.TagAdjust, float64(d))
+	}
+	ctx.SetTimer(ctx.PhysNow()+p.period, nil)
+}
+
+func (p *corrProc) Corr() clock.Local { return p.corr }
+
+// runScripted executes n scripted processes under a fresh suite and returns
+// it. Each process starts at corr0[i] and applies deltas[i] one per period.
+func runScripted(t *testing.T, corr0 []clock.Local, deltas [][]clock.Local, horizon clock.Real) *invariant.Suite {
+	t.Helper()
+	n := len(corr0)
+	procs := make([]sim.Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	for i := range procs {
+		procs[i] = &corrProc{corr: corr0[i], deltas: deltas[i], period: 0.1}
+		clocks[i] = clock.Linear(0, 1)
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.ConstantDelay{Delta: 1e-3},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analysis.Default(len(corr0), 1)
+	suite := invariant.NewSuite(p, 0, 0, 0)
+	for _, o := range suite.Observers() {
+		eng.Observe(o)
+	}
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}
+
+func quietScript(n int) ([]clock.Local, [][]clock.Local) {
+	corr0 := make([]clock.Local, n)
+	deltas := make([][]clock.Local, n)
+	return corr0, deltas
+}
+
+func TestSuiteCleanOnIdenticalClocks(t *testing.T) {
+	corr0, deltas := quietScript(4)
+	s := runScripted(t, corr0, deltas, 2)
+	if !s.Ok() {
+		t.Fatalf("identical drift-free clocks must satisfy every invariant:\n%s", s.Summary())
+	}
+	for _, c := range s.Checkers() {
+		if c.Name() == "adjustment" {
+			continue // no adjustments scripted, so nothing to check there
+		}
+		if c.Checked() == 0 {
+			t.Errorf("checker %s performed no checks; the pass is vacuous", c.Name())
+		}
+	}
+}
+
+func TestAgreementDetectsSkew(t *testing.T) {
+	corr0, deltas := quietScript(4)
+	corr0[0] = clock.Local(1.0) // one second apart: far beyond γ
+	s := runScripted(t, corr0, deltas, 2)
+	ag := s.Agreement
+	if ag.Ok() {
+		t.Fatal("agreement checker missed a 1s skew")
+	}
+	if ag.Worst() < 1-ag.Gamma-1e-9 {
+		t.Errorf("worst overshoot %v, want ≈ %v", ag.Worst(), 1-ag.Gamma)
+	}
+	if len(ag.Violations()) == 0 || ag.Count() < int64(len(ag.Violations())) {
+		t.Errorf("violation bookkeeping inconsistent: %d recorded, count %d", len(ag.Violations()), ag.Count())
+	}
+	// Divergent runs violate at every sample; the record must stay capped.
+	if len(ag.Violations()) > 8 {
+		t.Errorf("recorded %d violations; want the cap to hold", len(ag.Violations()))
+	}
+}
+
+func TestValidityDetectsRunawayClock(t *testing.T) {
+	corr0, deltas := quietScript(3)
+	// One process jumps its correction forward 10ms every 0.1s: far outside
+	// the α₂ ceiling, while others stay on the envelope.
+	jumps := make([]clock.Local, 40)
+	for i := range jumps {
+		jumps[i] = 10e-3
+	}
+	deltas[1] = jumps
+	s := runScripted(t, corr0, deltas, 2)
+	v := s.Validity
+	if v.Ok() {
+		t.Fatal("validity checker missed a runaway clock")
+	}
+	if len(v.Violations()) > 0 && v.Violations()[0].Proc != 1 {
+		t.Errorf("violation attributed to p%d, want p1", v.Violations()[0].Proc)
+	}
+}
+
+func TestMonotonicityDetectsBigBackstep(t *testing.T) {
+	corr0, deltas := quietScript(3)
+	deltas[2] = []clock.Local{-0.5} // steps its clock back half a second
+	s := runScripted(t, corr0, deltas, 2)
+	m := s.Monotonic
+	if m.Ok() {
+		t.Fatal("monotonicity checker missed a 0.5s backstep")
+	}
+	if len(m.Violations()) > 0 && m.Violations()[0].Proc != 2 {
+		t.Errorf("violation attributed to p%d, want p2", m.Violations()[0].Proc)
+	}
+	// A backstep within the adjustment bound is legal.
+	corr0, deltas = quietScript(3)
+	deltas[2] = []clock.Local{clock.Local(-0.5 * m.MaxBackstep)}
+	if s := runScripted(t, corr0, deltas, 2); !s.Monotonic.Ok() {
+		t.Error("monotonicity flagged a backstep within the Theorem 4(a) bound")
+	}
+}
+
+func TestAdjustmentBoundDetectsOversizedAdj(t *testing.T) {
+	corr0, deltas := quietScript(3)
+	deltas[0] = []clock.Local{0.25}
+	s := runScripted(t, corr0, deltas, 2)
+	a := s.Adjustment
+	if a.Ok() {
+		t.Fatal("adjustment checker missed a 0.25s adjustment")
+	}
+	if a.Checked() == 0 {
+		t.Error("adjustment checker saw no annotations")
+	}
+	if len(a.Violations()) > 0 && a.Violations()[0].Proc != 0 {
+		t.Errorf("violation attributed to p%d, want p0", a.Violations()[0].Proc)
+	}
+}
+
+func TestAdjustmentBoundIgnoresFaulty(t *testing.T) {
+	// The same oversized adjustment on a process marked faulty is ignored:
+	// the theorems quantify over nonfaulty processes only.
+	procs := []sim.Process{
+		&corrProc{period: 0.1},
+		&corrProc{period: 0.1, deltas: []clock.Local{0.25}},
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:   procs,
+		Clocks:  []clock.Clock{clock.Linear(0, 1), clock.Linear(0, 1)},
+		StartAt: []clock.Real{0, 0},
+		Delay:   sim.ConstantDelay{Delta: 1e-3},
+		Faulty:  []bool{false, true},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := invariant.NewAdjustmentBound(analysis.Default(4, 1).AdjBound())
+	eng.Observe(a)
+	if err := eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Ok() {
+		t.Error("adjustment checker counted a faulty process's adjustment")
+	}
+}
+
+func TestSummaryAndViolationString(t *testing.T) {
+	corr0, deltas := quietScript(4)
+	corr0[0] = clock.Local(1.0)
+	s := runScripted(t, corr0, deltas, 2)
+	sum := s.Summary()
+	if !strings.Contains(sum, "agreement VIOLATED") {
+		t.Errorf("summary missing agreement violation: %q", sum)
+	}
+	if !strings.Contains(sum, "adjustment ok") {
+		t.Errorf("summary missing clean checker: %q", sum)
+	}
+	vs := s.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violations reported")
+	}
+	if str := vs[0].String(); !strings.Contains(str, "agreement") || !strings.Contains(str, "over by") {
+		t.Errorf("violation string unhelpful: %q", str)
+	}
+}

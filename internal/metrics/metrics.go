@@ -73,27 +73,14 @@ func (r *SkewRecorder) Series() []float64 { return r.series }
 
 // NonfaultySkew computes max−min of the nonfaulty local times at real time t.
 // ok is false when fewer than two nonfaulty processes expose local times.
+// The scan is delegated to the engine's batched LocalTimeSpread, so multiple
+// observers asking at the same sample point share one O(n) clock walk.
 func NonfaultySkew(e *sim.Engine, t clock.Real) (float64, bool) {
-	lo, hi := math.Inf(1), math.Inf(-1)
-	count := 0
-	for _, p := range e.NonfaultyIDs() {
-		lt, ok := e.LocalTime(p, t)
-		if !ok {
-			continue
-		}
-		count++
-		v := float64(lt)
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
+	lo, hi, count := e.LocalTimeSpread(t)
 	if count < 2 {
 		return 0, false
 	}
-	return hi - lo, true
+	return float64(hi - lo), true
 }
 
 // RoundRecorder collects the per-round annotations emitted by the core (and
@@ -242,27 +229,27 @@ type ValidityRecorder struct {
 
 var _ sim.Sampler = (*ValidityRecorder)(nil)
 
-// Sample implements sim.Sampler.
+// Sample implements sim.Sampler. The envelope is monotone in L_p, so the
+// per-process check reduces to the extremes: the lower bound is tightest for
+// the minimum local time and the upper bound for the maximum, which the
+// engine's shared one-pass spread scan provides directly.
 func (v *ValidityRecorder) Sample(e *sim.Engine, _ bool) {
 	t := e.Now()
 	if t < v.From {
 		return
 	}
-	for _, p := range e.NonfaultyIDs() {
-		lt, ok := e.LocalTime(p, t)
-		if !ok {
-			continue
-		}
-		v.samples++
-		elapsed := float64(lt) - v.T0
-		lower := v.Alpha1*float64(t-v.TMax0) - v.Alpha3
-		upper := v.Alpha2*float64(t-v.TMin0) + v.Alpha3
-		if d := lower - elapsed; d > v.worst {
-			v.worst = d
-		}
-		if d := elapsed - upper; d > v.worst {
-			v.worst = d
-		}
+	lo, hi, count := e.LocalTimeSpread(t)
+	if count == 0 {
+		return
+	}
+	v.samples += count
+	lower := v.Alpha1*float64(t-v.TMax0) - v.Alpha3
+	upper := v.Alpha2*float64(t-v.TMin0) + v.Alpha3
+	if d := lower - (float64(lo) - v.T0); d > v.worst {
+		v.worst = d
+	}
+	if d := (float64(hi) - v.T0) - upper; d > v.worst {
+		v.worst = d
 	}
 }
 

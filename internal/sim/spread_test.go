@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// spreadProc is a minimal CorrHolder automaton: it re-arms a periodic timer
+// and nudges its correction on every delivery, so local times keep changing
+// and the spread cache is exercised across invalidations.
+type spreadProc struct {
+	corr clock.Local
+	step clock.Local
+}
+
+func (p *spreadProc) Receive(ctx *Context, m Message) {
+	p.corr += p.step
+	if m.Kind == KindOrdinary {
+		return
+	}
+	ctx.Broadcast(nil)
+	ctx.SetTimer(ctx.PhysNow()+5e-3, nil)
+}
+
+func (p *spreadProc) Corr() clock.Local { return p.corr }
+
+func newSpreadEngine(t testing.TB, n int) *Engine {
+	procs := make([]Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	for i := range procs {
+		procs[i] = &spreadProc{corr: clock.Local(i) * 1e-3, step: clock.Local(i%3-1) * 1e-6}
+		clocks[i] = clock.Linear(clock.Local(i)*1e-4, 1+1e-5*float64(i%2))
+		starts[i] = clock.Real(i) * 1e-4
+	}
+	eng, err := New(Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   UniformDelay{Delta: 2e-3, Eps: 1e-3},
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// legacySpread is the pre-batching scan every observer used to run for
+// itself: one LocalTime call per nonfaulty process per observer. Kept as the
+// reference implementation for the correctness check and the "before" side
+// of the benchmark.
+func legacySpread(e *Engine, t clock.Real) (lo, hi clock.Local, count int) {
+	lo, hi = clock.Local(math.Inf(1)), clock.Local(math.Inf(-1))
+	for _, p := range e.NonfaultyIDs() {
+		lt, ok := e.LocalTime(p, t)
+		if !ok {
+			continue
+		}
+		count++
+		if lt < lo {
+			lo = lt
+		}
+		if lt > hi {
+			hi = lt
+		}
+	}
+	return lo, hi, count
+}
+
+// spreadChecker cross-checks the cached spread against a fresh legacy scan at
+// every sample point, pre and post delivery, including repeated reads (which
+// hit the cache).
+type spreadChecker struct {
+	t       *testing.T
+	samples int
+}
+
+func (c *spreadChecker) Sample(e *Engine, pre bool) {
+	c.samples++
+	wantLo, wantHi, wantN := legacySpread(e, e.Now())
+	for i := 0; i < 2; i++ { // second read must serve the cache, unchanged
+		lo, hi, n := e.LocalTimeSpread(e.Now())
+		if lo != wantLo || hi != wantHi || n != wantN {
+			c.t.Fatalf("sample %d (pre=%v, read %d): LocalTimeSpread = (%v, %v, %d), legacy scan = (%v, %v, %d)",
+				c.samples, pre, i, lo, hi, n, wantLo, wantHi, wantN)
+		}
+	}
+}
+
+func TestLocalTimeSpreadMatchesLegacyScan(t *testing.T) {
+	eng := newSpreadEngine(t, 9)
+	chk := &spreadChecker{t: t}
+	eng.Observe(chk)
+	if err := eng.Run(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if chk.samples < 1000 {
+		t.Fatalf("only %d samples; workload too small to be meaningful", chk.samples)
+	}
+}
+
+// TestLocalTimeSpreadHistoricalTime checks that asking for a time other than
+// the current sample point bypasses (and does not poison) the cache.
+func TestLocalTimeSpreadHistoricalTime(t *testing.T) {
+	eng := newSpreadEngine(t, 5)
+	if err := eng.Run(0.2); err != nil {
+		t.Fatal(err)
+	}
+	now := eng.Now()
+	lo, hi, n := eng.LocalTimeSpread(now) // cache now
+	past := now - 0.05
+	plo, phi, pn := eng.LocalTimeSpread(past)
+	wlo, whi, wn := legacySpread(eng, past)
+	if plo != wlo || phi != whi || pn != wn {
+		t.Fatalf("historical spread = (%v, %v, %d), want (%v, %v, %d)", plo, phi, pn, wlo, whi, wn)
+	}
+	if l2, h2, n2 := eng.LocalTimeSpread(now); l2 != lo || h2 != hi || n2 != n {
+		t.Fatalf("cache poisoned by historical query: (%v, %v, %d) != (%v, %v, %d)", l2, h2, n2, lo, hi, n)
+	}
+}
+
+// BenchmarkSpreadScan compares the cost of one sample point's spread reads
+// before and after batching. The standard experiment harness attaches three
+// spread readers (skew recorder, validity recorder, and — with conformance
+// checking on — the agreement invariant), so one iteration is three reads:
+// per-observer-rescan walks all clocks for each reader (the old behavior),
+// batched-cached walks once and serves the rest from the engine cache.
+func BenchmarkSpreadScan(b *testing.B) {
+	const readers = 3
+	for _, n := range []int{7, 31} {
+		eng := newSpreadEngine(b, n)
+		if err := eng.Run(0.1); err != nil {
+			b.Fatal(err)
+		}
+		t := eng.Now()
+		b.Run("per-observer-rescan/n="+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < readers; r++ {
+					legacySpread(eng, t)
+				}
+			}
+		})
+		b.Run("batched-cached/n="+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.spreadOK = false // new sample point
+				for r := 0; r < readers; r++ {
+					eng.LocalTimeSpread(t)
+				}
+			}
+		})
+	}
+}
