@@ -172,6 +172,19 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.Run("workload", bench.EngineWorkload)
 }
 
+// BenchmarkLargeN measures the round-structured broadcast regime the
+// calendar queue targets: 10 maintenance rounds of an n-process full mesh
+// (≈ n² messages per round inside one delay window) with no observers, so
+// queue and automaton work dominate. The default scheduler (calendar at
+// these sizes) is the number that matters; the heap sub-benchmarks are the
+// 4-ary-heap-only baseline it is measured against.
+func BenchmarkLargeN(b *testing.B) {
+	b.Run("n=31", bench.LargeN(31, sim.SchedulerAuto))
+	b.Run("n=101", bench.LargeN(101, sim.SchedulerAuto))
+	b.Run("n=31-heap", bench.LargeN(31, sim.SchedulerHeap))
+	b.Run("n=101-heap", bench.LargeN(101, sim.SchedulerHeap))
+}
+
 // BenchmarkApproxAgreementRound measures one synchronous approximate
 // agreement round at n=31.
 func BenchmarkApproxAgreementRound(b *testing.B) {

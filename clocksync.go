@@ -23,6 +23,12 @@
 // networks (WithStagger, §9.3). Baseline algorithms from the paper's
 // comparison section and the full experiment suite live under internal/ and
 // cmd/experiments.
+//
+// Large systems are first-class: each round's all-to-all broadcast goes
+// through the engine's batched fan-out, and the simulator switches from its
+// 4-ary heap to a calendar-queue scheduler when the in-flight message
+// population warrants it (n ≳ 22), so sweeps at n = 101 run routinely — see
+// the README's engine section and BenchmarkLargeN.
 package clocksync
 
 import (

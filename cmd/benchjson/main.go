@@ -1,12 +1,15 @@
 // Command benchjson runs the standing engine benchmarks (internal/bench,
-// the same code behind `go test -bench=EngineThroughput`) and writes the
-// results as JSON, so the hot path's performance trajectory is tracked
-// across PRs in BENCH_engine.json instead of volatile CI logs.
+// the same code behind `go test -bench=EngineThroughput` and
+// `-bench=LargeN`) and writes the results as JSON, so the hot path's
+// performance trajectory is tracked across PRs in BENCH_engine.json instead
+// of volatile CI logs.
 //
 // Usage:
 //
-//	benchjson             # writes BENCH_engine.json
-//	benchjson -o - | jq . # print to stdout
+//	benchjson                               # writes BENCH_engine.json
+//	benchjson -o - | jq .                   # print to stdout
+//	benchjson -against BENCH_engine.json    # also fail on a >20% events/sec
+//	                                        # regression vs the committed file
 package main
 
 import (
@@ -14,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 )
 
 // result is one benchmark measurement. EventsPerSec is the headline number
@@ -39,7 +44,13 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_engine.json", "output path (\"-\" for stdout)")
+	against := flag.String("against", "", "compare events/sec against this committed report and exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional events/sec drop before -against fails")
+	count := flag.Int("count", 3, "runs per benchmark; the fastest is reported (noise suppression on shared machines)")
 	flag.Parse()
+	if *count < 1 {
+		fatal(fmt.Errorf("-count must be ≥ 1, got %d (zero runs would overwrite %s with empty measurements)", *count, *out))
+	}
 
 	benchmarks := []struct {
 		name string
@@ -47,22 +58,55 @@ func main() {
 	}{
 		{"EngineThroughput/steady", bench.EngineSteady},
 		{"EngineThroughput/workload", bench.EngineWorkload},
+		// The large-n broadcast regime: the calendar scheduler (auto) next
+		// to its 4-ary-heap-only baseline at each size, so the committed
+		// file records both the absolute throughput and the speedup.
+		{"LargeN/n=31", bench.LargeN(31, sim.SchedulerAuto)},
+		{"LargeN/n=31-heap", bench.LargeN(31, sim.SchedulerHeap)},
+		{"LargeN/n=101", bench.LargeN(101, sim.SchedulerAuto)},
+		{"LargeN/n=101-heap", bench.LargeN(101, sim.SchedulerHeap)},
 	}
 
 	rep := report{
-		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state)",
+		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state); LargeN is 10 maintenance rounds of an n-process broadcast mesh, with -heap forcing the pre-calendar scheduler as baseline",
 	}
 	for _, bm := range benchmarks {
-		r := testing.Benchmark(bm.fn)
-		rep.Benchmarks = append(rep.Benchmarks, result{
-			Name:         bm.name,
-			Ops:          r.N,
-			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp:  float64(r.MemAllocs) / float64(r.N),
-			BytesPerOp:   float64(r.MemBytes) / float64(r.N),
-			EventsPerSec: r.Extra["events/sec"],
-			EventsPerOp:  r.Extra["events/op"],
-		})
+		// Best of -count runs: shared/virtualized machines steal CPU in
+		// bursts, and the fastest run is the least-disturbed measurement
+		// of the code itself.
+		var best result
+		for i := 0; i < *count; i++ {
+			r := testing.Benchmark(bm.fn)
+			cur := result{
+				Name:         bm.name,
+				Ops:          r.N,
+				NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp:  float64(r.MemAllocs) / float64(r.N),
+				BytesPerOp:   float64(r.MemBytes) / float64(r.N),
+				EventsPerSec: r.Extra["events/sec"],
+				EventsPerOp:  r.Extra["events/op"],
+			}
+			if i == 0 || cur.EventsPerSec > best.EventsPerSec {
+				best = cur
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, best)
+	}
+
+	// Load the baseline before writing anything: -o (default
+	// BENCH_engine.json) and -against may name the same file, and reading
+	// after the write would compare the fresh run against itself — a gate
+	// that always passes.
+	var baseline *report
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			fatal(err)
+		}
+		baseline = &report{}
+		if err := json.Unmarshal(raw, baseline); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *against, err))
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -72,12 +116,101 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
+
+	if baseline != nil {
+		if err := checkRegression(rep, *baseline, *tolerance); err != nil {
+			fatal(err)
+		}
+		// Status goes to stderr: with -o - the stdout stream is the JSON
+		// report (the documented `| jq .` pattern) and must stay parseable.
+		fmt.Fprintf(os.Stderr, "no events/sec regression beyond %.0f%% vs %s\n", *tolerance*100, *against)
 	}
-	fmt.Printf("wrote %s\n", *out)
+}
+
+// checkRegression compares the fresh measurements against a committed
+// report: any benchmark present in both whose events/sec dropped by more
+// than the tolerance fails the run (the nightly workflow's perf gate).
+//
+// Raw events/sec is not comparable across machines — a nightly runner is a
+// different (and noisier) CPU than whatever produced the committed file, so
+// a naive absolute gate flaps on uniform slowdowns that have nothing to do
+// with the code. The gate therefore normalizes by the median fresh/committed
+// ratio over all shared benchmarks: a machine running uniformly at 70% of
+// the committed machine's speed moves every ratio — and the median — to
+// ~0.7 and passes, while a single benchmark collapsing drags its own ratio
+// far below the (unmoved) median and fails.
+//
+// Known blind spot, accepted deliberately: a code change that slows every
+// benchmark by the same factor is indistinguishable from a slower machine
+// and passes the relative check — catching it without per-machine
+// calibration is not possible from one file of committed numbers. Two
+// backstops bound the damage: an absolute floor (catastrophicFloor) fails
+// the run outright when the normalized picture says the "machine" lost
+// most of its speed, and the committed file itself is refreshed per PR on
+// the development machine, where a uniform regression shows up as a diff
+// of every events/sec entry. Benchmarks only present on one side are
+// ignored, so adding a benchmark does not break the gate until its numbers
+// are committed.
+func checkRegression(fresh, committed report, tolerance float64) error {
+	// Below this median fresh/committed ratio the run fails even though
+	// the slowdown is uniform: it is either severely degraded hardware or
+	// an across-the-board code regression, and both deserve eyes.
+	const catastrophicFloor = 0.35
+	old := make(map[string]float64, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		old[b.Name] = b.EventsPerSec
+	}
+	type pair struct {
+		name      string
+		was, now  float64
+		speedFrac float64 // now/was before normalization
+	}
+	var pairs []pair
+	for _, b := range fresh.Benchmarks {
+		was, ok := old[b.Name]
+		if !ok || was <= 0 || b.EventsPerSec <= 0 {
+			continue
+		}
+		pairs = append(pairs, pair{name: b.Name, was: was, now: b.EventsPerSec, speedFrac: b.EventsPerSec / was})
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no comparable events/sec benchmarks between the fresh run and the baseline report")
+	}
+	fracs := make([]float64, len(pairs))
+	for i, p := range pairs {
+		fracs[i] = p.speedFrac
+	}
+	sort.Float64s(fracs)
+	machine := fracs[len(fracs)/2] // median machine-speed factor
+	if machine < catastrophicFloor {
+		return fmt.Errorf("median events/sec is %.2fx the committed baseline (floor %.2fx): either this machine is far slower than the one that produced the baseline, or the change regressed everything uniformly — investigate before trusting the relative gate", machine, catastrophicFloor)
+	}
+	var regressions []string
+	for _, p := range pairs {
+		if p.speedFrac < machine*(1-tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3gM events/sec, was %.3gM (%.2fx vs machine factor %.2fx)",
+					p.name, p.now/1e6, p.was/1e6, p.speedFrac, machine))
+		}
+	}
+	if len(regressions) > 0 {
+		out := ""
+		for i, l := range regressions {
+			if i > 0 {
+				out += "\n  "
+			}
+			out += l
+		}
+		return fmt.Errorf("events/sec regressions beyond %.0f%% (after normalizing for machine speed %.2fx):\n  %s",
+			tolerance*100, machine, out)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -102,6 +102,81 @@ func EngineSteady(b *testing.B) {
 	}
 }
 
+// NewLargeNEngine builds the large-n benchmark system: n maintenance
+// automata (f = (n−1)/3 capacity, no actual faults) on drifting clocks with
+// uniform delays and no observers — the round-structured n²-broadcast
+// regime the calendar queue exists for, with nothing but engine and
+// automaton work on the clock. The scheduler knob selects the queue
+// implementation (heap baseline vs calendar); every choice delivers the
+// identical event sequence.
+func NewLargeNEngine(n int, seed int64, s sim.Scheduler) (*sim.Engine, core.Config, clock.Real, error) {
+	cfg := core.Config{Params: analysis.Default(n, (n-1)/3)}
+	if err := cfg.Validate(); err != nil {
+		return nil, cfg, 0, err
+	}
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	for i := range clocks {
+		clocks[i] = drift.Build(i, n)
+	}
+	corrs := core.InitialCorrsWithinBeta(cfg, clocks, 0.9*cfg.Beta)
+	starts := core.StartTimes(cfg, clocks, corrs)
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		procs[i] = core.NewProc(cfg, corrs[i])
+	}
+	tmax0 := starts[0]
+	for _, s := range starts[1:] {
+		if s > tmax0 {
+			tmax0 = s
+		}
+	}
+	eng, err := sim.New(sim.Config{
+		Procs:     procs,
+		Clocks:    clocks,
+		StartAt:   starts,
+		Delay:     sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:      seed,
+		Scheduler: s,
+		EventHint: n*n + 2*n + 8,
+		MaxSteps:  1 << 40,
+	})
+	return eng, cfg, tmax0, err
+}
+
+// largeNRounds is how many synchronization rounds one LargeN op simulates.
+const largeNRounds = 10
+
+// LargeN returns a benchmark running largeNRounds maintenance rounds of an
+// n-process system per op under the given scheduler; events/sec is the
+// headline metric (one round delivers ≈ n² messages inside one delay
+// window).
+func LargeN(n int, s sim.Scheduler) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events float64
+		for i := 0; i < b.N; i++ {
+			eng, cfg, tmax0, err := NewLargeNEngine(n, 1, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			horizon := tmax0 + clock.Real(largeNRounds*cfg.P*(1+2*cfg.Rho)+2*cfg.Window()+cfg.Delta+1)
+			if err := eng.Run(horizon); err != nil {
+				b.Fatal(err)
+			}
+			if r := eng.Process(0).(*core.Proc).Round(); r < largeNRounds {
+				b.Fatalf("only %d rounds simulated", r)
+			}
+			events += float64(eng.Steps())
+		}
+		b.StopTimer()
+		b.ReportMetric(events/float64(b.N), "events/op")
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(events/s, "events/sec")
+		}
+	}
+}
+
 // EngineWorkload benchmarks one full experiment-harness run per op.
 func EngineWorkload(b *testing.B) {
 	cfg := core.Config{Params: analysis.Default(7, 2)}

@@ -107,13 +107,16 @@ func (c *PiecewiseLinear) At(t Real) Local {
 
 // Inv implements Clock.
 func (c *PiecewiseLinear) Inv(T Local) Real {
-	// Find the last segment whose starting value is <= T. Values are
-	// increasing across segments because rates are positive.
-	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].value > T }) - 1
-	if i < 0 {
-		i = 0
+	s := c.segs[0]
+	if len(c.segs) > 1 {
+		// Find the last segment whose starting value is <= T. Values are
+		// increasing across segments because rates are positive.
+		i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].value > T }) - 1
+		if i < 0 {
+			i = 0
+		}
+		s = c.segs[i]
 	}
-	s := c.segs[i]
 	return s.start + Real(float64(T-s.value)/s.rate)
 }
 
@@ -123,6 +126,11 @@ func (c *PiecewiseLinear) Rate(t Real) float64 {
 }
 
 func (c *PiecewiseLinear) segAt(t Real) segment {
+	if len(c.segs) == 1 {
+		// Linear clocks (the default constant-drift schedule) are the
+		// per-event hot path; skip the binary search and its closure.
+		return c.segs[0]
+	}
 	i := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].start > t }) - 1
 	if i < 0 {
 		i = 0

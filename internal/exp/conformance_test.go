@@ -36,6 +36,9 @@ func TestConformanceMatrix(t *testing.T) {
 	if BigSweeps() {
 		gridPoints = 4
 	}
+	if StressTier() {
+		gridPoints++ // the nightly n=31 row
+	}
 	wantRows := len(faults.Strategies()) * gridPoints * 2
 	if len(matrix.Rows) != wantRows {
 		t.Errorf("matrix has %d rows, want %d (strategies × grid × delays)", len(matrix.Rows), wantRows)

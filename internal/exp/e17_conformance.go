@@ -39,6 +39,13 @@ func runE17() ([]*Table, error) {
 	if BigSweeps() {
 		grid = append(grid, gridNF{13, 4})
 	}
+	if StressTier() {
+		// Nightly-only: a 31-process system per strategy × delay model —
+		// ~n² messages a round through the calendar scheduler, the regime
+		// the per-push grid never reaches. Additive-only so the golden
+		// tables (pinned without the stress tier) stay byte-identical.
+		grid = append(grid, gridNF{31, 10})
+	}
 	type point struct {
 		strat faults.Strategy
 		n, f  int

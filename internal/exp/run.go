@@ -60,6 +60,31 @@ type Workload struct {
 	// (internal/invariant: agreement, validity, monotonicity, adjustment
 	// bound) as engine observers; the verdicts land in Result.Invariants.
 	CheckInvariants bool
+
+	// Scheduler selects the engine's event-queue implementation. Leave
+	// zero (auto) outside benchmarks: every scheduler delivers the
+	// identical event sequence, the knob only exists so the large-n
+	// benchmarks can measure the calendar queue against the heap baseline.
+	Scheduler sim.Scheduler
+}
+
+// eventHint estimates the peak number of buffered events for a maintenance
+// workload: each of the K exchanges per round keeps ≈ n² broadcast copies
+// in flight at once plus a timer per process, and with §9.3 staggering or
+// rejoin schedules a previous exchange's stragglers can overlap the next.
+// The hint pre-sizes the engine's queue stores so n²-sized rounds never pay
+// growth-doubling copies mid-run (see sim.Config.EventHint).
+func (w Workload) eventHint() int {
+	n := w.Cfg.N
+	k := w.Cfg.K
+	if k < 1 {
+		k = 1
+	}
+	hint := n*n + 2*n + 8
+	if k > 1 {
+		hint += (k - 1) * n * n / 4
+	}
+	return hint
 }
 
 // Result bundles the engine and the recorders after a run.
@@ -129,13 +154,15 @@ func Run(w Workload) (*Result, error) {
 	}
 
 	eng, err := sim.New(sim.Config{
-		Procs:   procs,
-		Clocks:  clocks,
-		StartAt: starts,
-		Delay:   delay,
-		Channel: w.Channel,
-		Faulty:  faulty,
-		Seed:    seed,
+		Procs:     procs,
+		Clocks:    clocks,
+		StartAt:   starts,
+		Delay:     delay,
+		Channel:   w.Channel,
+		Faulty:    faulty,
+		Seed:      seed,
+		Scheduler: w.Scheduler,
+		EventHint: w.eventHint(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %w", err)

@@ -16,3 +16,15 @@ func SetBigSweeps(on bool) { bigSweepsOn.Store(on) }
 
 // BigSweeps reports whether the large sweep rows are enabled.
 func BigSweeps() bool { return bigSweepsOn.Load() }
+
+// stressTierOn gates the nightly-scale stress rows (the E17 conformance
+// grid at n = 31). Off by default — the stress tier is additive-only, so
+// the golden tables and the per-push CI loop never run it; the nightly
+// workflow turns it on with `cmd/experiments -stress`.
+var stressTierOn atomic.Bool
+
+// SetStressTier enables or disables the nightly stress rows.
+func SetStressTier(on bool) { stressTierOn.Store(on) }
+
+// StressTier reports whether the nightly stress rows are enabled.
+func StressTier() bool { return stressTierOn.Load() }

@@ -116,6 +116,13 @@ func NewRoundRecorder(beginTag, adjTag string) *RoundRecorder {
 // OnAnnotation implements sim.AnnotationSink. (The recorder deliberately has
 // no Sample method: annotations arrive on their own callback, so the engine
 // skips it during the twice-per-action sampling fan-out.)
+//
+// The collection buffers are right-sized from the system size the first
+// time each is touched — a round's begin list gets one allocation of
+// exactly n slots instead of growth-doubling through the round, and the
+// adjustment log starts several rounds deep — so recording across many
+// rounds reuses capacity instead of reallocating per round (the dominant
+// allocation source of the full-workload benchmark before this).
 func (r *RoundRecorder) OnAnnotation(e *sim.Engine, a sim.Annotation) {
 	if e.Faulty(a.Proc) {
 		return
@@ -123,11 +130,18 @@ func (r *RoundRecorder) OnAnnotation(e *sim.Engine, a sim.Annotation) {
 	switch a.Tag {
 	case r.BeginTag:
 		i := int(a.Value)
-		r.begins[i] = append(r.begins[i], TimedValue{At: a.At, Proc: a.Proc, Value: a.Value})
+		evs, ok := r.begins[i]
+		if !ok {
+			evs = make([]TimedValue, 0, e.N())
+		}
+		r.begins[i] = append(evs, TimedValue{At: a.At, Proc: a.Proc, Value: a.Value})
 		if skew, ok := NonfaultySkew(e, a.At); ok {
 			r.skewAtBegin[i] = skew
 		}
 	case r.AdjTag:
+		if r.adjs == nil {
+			r.adjs = make([]TimedValue, 0, 8*e.N())
+		}
 		r.adjs = append(r.adjs, TimedValue{At: a.At, Proc: a.Proc, Value: a.Value})
 	}
 }

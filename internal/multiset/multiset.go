@@ -130,6 +130,77 @@ func FaultTolerantMidpoint(u Multiset, f int) (float64, error) {
 	return r.Mid(), nil
 }
 
+// MidpointSelect computes mid(reduce_f(vals)) — the same value
+// FaultTolerantMidpoint returns for New(vals...) — without constructing a
+// multiset or fully sorting: mid only needs the (f+1)-th smallest and
+// (f+1)-th largest elements, which two quickselect passes find in O(n).
+// The input slice is reordered in place (callers pass a reusable scratch
+// buffer; the clock-sync automaton calls this once per round per process,
+// where the full sort dominated the update step at large n). The result is
+// bit-identical to the sorting path: selection returns the same element
+// values, and the midpoint is computed from the same two floats.
+func MidpointSelect(vals []float64, f int) (float64, error) {
+	if f < 0 {
+		return 0, fmt.Errorf("multiset: negative fault bound %d", f)
+	}
+	if len(vals) < 2*f+1 {
+		return 0, fmt.Errorf("multiset: reduce needs |U| ≥ 2f+1, got |U|=%d f=%d", len(vals), f)
+	}
+	lo := selectKth(vals, f)
+	// Quickselect leaves vals partitioned around index f (everything
+	// before is ≤ vals[f], everything after is ≥), so the second, larger
+	// rank needs only the upper part.
+	hi := selectKth(vals[f:], len(vals)-1-2*f)
+	return (lo + hi) / 2, nil
+}
+
+// selectKth returns the k-th smallest element (0-based), reordering a in
+// place. Hoare-partition quickselect with median-of-three pivots: expected
+// O(n), well-behaved on duplicate-heavy inputs (ARR arrays are padded with
+// −Inf never-heard sentinels).
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+			if a[mid] < a[lo] {
+				a[mid], a[lo] = a[lo], a[mid]
+			}
+		}
+		if hi-lo <= 2 {
+			break // the median-of-three ordering sorted all three
+		}
+		p := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[k]
+}
+
 // FaultTolerantMean computes mean(reduce_f(U)), the §7 variant.
 func FaultTolerantMean(u Multiset, f int) (float64, error) {
 	r, err := u.Reduce(f)

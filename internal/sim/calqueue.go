@@ -1,0 +1,676 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+	"os"
+	"slices"
+
+	"repro/internal/clock"
+)
+
+// This file implements the round-structured scheduler: a bucketed calendar
+// queue for the near-future event cluster, spilling far-future events
+// (timers, rejoin wake-ups) into a 4-ary overflow heap, behind a small
+// hybrid front end (sched) that picks the structure automatically from the
+// workload shape.
+//
+// Motivation: the Lundelius–Lynch algorithm is round-structured — every
+// resynchronization round all n processes broadcast to all n peers, so n²
+// near-simultaneous messages land inside one bounded-delay window
+// [δ−ε, δ+ε]. A comparison heap pays O(log m) sift work (m ≈ n² in flight)
+// per push and per pop in exactly that regime. A calendar queue keyed by
+// delivery time makes both amortized O(1): a push appends to the bucket
+// floor((t−start)/width) and a pop drains the current bucket in order,
+// advancing bucket by bucket through the window.
+//
+// The calendar does not store the 64-byte Message values the comparison
+// heap sifts around. Buffered messages live in a side slab, and the queue
+// structures move 24-byte pointer-free entries — the full sort key plus a
+// slab index — so bucket appends, sorts, and heap↔calendar migrations
+// carry no GC write barriers, the garbage collector never scans bucket
+// storage, and the cache footprint of a queue operation shrinks by ~3×.
+// Payload-release hygiene concentrates in one place: the slab zeroes a slot
+// the moment its message is taken.
+//
+// Ordering is bit-for-bit identical to the heap's. entryLess realizes the
+// same total order (DeliverAt, non-TIMER first, seq) — the tie-break packs
+// into a single uint64 with the TIMER flag above the sequence bits —
+// buckets cover disjoint half-open time ranges, so concatenating per-bucket
+// order gives the global order, and within a bucket entries are sorted by
+// the same relation (total, since seq is unique, so sorting is
+// deterministic). Every pop sequence, and therefore every golden experiment
+// table, is independent of which scheduler ran it; the differential tests
+// in queue_test.go and the FuzzBucketWidth target enforce this.
+
+// Scheduler selects the event-queue implementation.
+type Scheduler uint8
+
+const (
+	// SchedulerAuto (the default) starts on the 4-ary heap and switches to
+	// the calendar queue when the number of buffered events crosses
+	// calActivateLen — small systems never pay calendar overhead, large
+	// broadcast storms never pay per-event sift work. A Config.EventHint
+	// of at least calActivateLen activates the calendar eagerly, skipping
+	// the migration.
+	SchedulerAuto Scheduler = iota
+	// SchedulerHeap forces the 4-ary heap of full event values (the
+	// pre-calendar scheduler, byte-for-byte); benchmarks use it as the
+	// baseline.
+	SchedulerHeap
+	// SchedulerCalendar forces the calendar queue from the first event.
+	SchedulerCalendar
+)
+
+const (
+	// calActivateLen is the buffered-event count at which SchedulerAuto
+	// switches to the calendar: below it (n ≲ 22 full-mesh systems) heap
+	// sift depth is short and cache-resident, above it the O(log m) work
+	// and 64-byte event swaps dominate the queue cost.
+	calActivateLen = 512
+	// calMaxBuckets bounds the bucket array (memory: 24 B of slice header
+	// plus one occupancy bit plus calArenaFill pre-carved entries per
+	// bucket).
+	calMaxBuckets = 32768
+	// calTargetFill is the per-bucket population the width tuner steers
+	// toward. The bucket count is sized for ~1–3 events per bucket over
+	// the active part of a window (pop order inside a bucket needs a sort,
+	// so near-singleton buckets make pops O(1)); the tuner shrinks the
+	// width only when buckets run well past that.
+	calTargetFill = 4
+	// calArenaFill is the per-bucket capacity pre-carved out of the shared
+	// arena allocation at activation; buckets busier than this grow
+	// individually. Sized above the typical active-span fill so steady
+	// windows allocate nothing.
+	calArenaFill = 4
+	// calNearFactor classifies a spilled event as "near future" when it
+	// lies within this many declared delay windows of the current window
+	// start. Near spills are traffic the window should have covered (they
+	// drive the horizon signal of the width tuner); anything further —
+	// next-round timers a full period away, rejoin wake-ups — belongs in
+	// the overflow heap and must not stretch the window.
+	calNearFactor = 16
+	// calMinWidth floors the bucket width so degenerate tuning inputs
+	// (ε = δ = 0, fuzzed NaN/Inf spans) cannot collapse the window to a
+	// zero- or negative-width bucket.
+	calMinWidth = 1e-12
+)
+
+// entryTimerBit flags TIMER messages in an entry key; it sits above the
+// sequence bits so that at equal delivery times non-TIMER messages order
+// first and insertion order breaks the remaining ties — exactly eventLess.
+const entryTimerBit = uint64(1) << 63
+
+// entry is the calendar's compact, pointer-free handle to one buffered
+// message: the full sort key plus the slab slot holding the Message.
+type entry struct {
+	at  float64 // Message.DeliverAt
+	key uint64  // TIMER flag | sequence number
+	ref int32   // msgSlab slot
+	_   int32
+}
+
+// packKey builds an entry key from a message kind and sequence number.
+func packKey(kind Kind, seq uint64) uint64 {
+	if kind == KindTimer {
+		return seq | entryTimerBit
+	}
+	return seq
+}
+
+// entryLess is eventLess on packed entries.
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
+}
+
+// entryCmp adapts entryLess for slices.SortFunc. The order is total (seq is
+// unique per engine), so no two distinct entries compare equal.
+func entryCmp(a, b entry) int {
+	if entryLess(&a, &b) {
+		return -1
+	}
+	return 1
+}
+
+// msgSlab stores the buffered Message values the compact queues reference.
+// Slots are recycled through a free stack; take zeroes the vacated slot so
+// no stale Payload reference outlives its message (the hygiene the heap's
+// free list provided, concentrated in one place).
+type msgSlab struct {
+	msgs []Message
+	free []int32
+}
+
+func (s *msgSlab) grow(c int) {
+	if cap(s.msgs) < c {
+		msgs := make([]Message, len(s.msgs), c)
+		copy(msgs, s.msgs)
+		s.msgs = msgs
+	}
+	if cap(s.free) < c {
+		free := make([]int32, len(s.free), c)
+		copy(free, s.free)
+		s.free = free
+	}
+}
+
+func (s *msgSlab) put(m *Message) int32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.msgs[i] = *m
+		return i
+	}
+	s.msgs = append(s.msgs, *m)
+	return int32(len(s.msgs) - 1)
+}
+
+func (s *msgSlab) take(i int32, out *Message) {
+	*out = s.msgs[i]
+	s.msgs[i] = Message{}
+	s.free = append(s.free, i)
+}
+
+// entryHeap is a 4-ary min-heap of entries ordered by entryLess — the
+// overflow store for events beyond the calendar window. Identical layout
+// logic to eventQueue, but sifting 24-byte pointer-free entries.
+type entryHeap struct {
+	items []entry
+}
+
+func (q *entryHeap) len() int { return len(q.items) }
+
+func (q *entryHeap) grow(c int) {
+	if cap(q.items) < c {
+		items := make([]entry, len(q.items), c)
+		copy(items, q.items)
+		q.items = items
+	}
+}
+
+func (q *entryHeap) push(en entry) {
+	q.items = append(q.items, en)
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(&q.items[i], &q.items[p]) {
+			break
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+func (q *entryHeap) peek() *entry {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return &q.items[0]
+}
+
+func (q *entryHeap) pop() entry {
+	items := q.items
+	min := items[0]
+	n := len(items) - 1
+	items[0] = items[n]
+	items = items[:n]
+	q.items = items
+
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := i
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if entryLess(&items[c], &items[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		items[i], items[best] = items[best], items[i]
+		i = best
+	}
+	return min
+}
+
+// calQueue is the calendar: len(buckets) disjoint half-open time ranges
+// [start + i·width, start + (i+1)·width) covering one window of the
+// execution. Events beyond the window are the caller's (sched's) problem.
+// Buckets are filled append-only and sorted lazily when the drain position
+// first enters them; a push into the already-sorted live bucket does an
+// ordered insert into its unpopped tail. Empty stretches are skipped
+// through an occupancy bitmap.
+type calQueue struct {
+	buckets  [][]entry
+	occ      []uint64   // occupancy bitmap, one bit per bucket
+	start    clock.Real // lower edge of bucket 0 for the current window
+	width    float64    // bucket width in real-time seconds
+	invWidth float64    // 1/width (a multiply per push instead of a divide)
+	cur      int        // bucket currently being drained
+	pos      int        // popped prefix of buckets[cur]
+	sorted   bool       // buckets[cur][pos:] is in entryLess order
+	count    int        // unpopped entries held across all buckets
+
+	// Window statistics feeding the width tuner (see sched.rotate).
+	inserted  int     // entries accepted into this window
+	used      int     // buckets that went nonempty this window
+	maxDtNear float64 // furthest near-future spill past the window end
+	nearLimit float64 // near/far spill boundary (calNearFactor · span)
+	reqWidth  float64 // sticky horizon floor: max maxDtNear/buckets so far
+}
+
+// reset rewinds the calendar to a fresh window anchored at start. All
+// buckets must already be drained (count == 0); their backing arrays are
+// kept for reuse, so a steady-state rotation allocates nothing.
+func (c *calQueue) reset(start clock.Real, width float64) {
+	if c.cur < len(c.buckets) {
+		c.buckets[c.cur] = c.buckets[c.cur][:0]
+	}
+	clear(c.occ)
+	c.start = start
+	c.width = width
+	c.invWidth = 1 / width
+	c.cur, c.pos, c.sorted = 0, 0, false
+	c.inserted, c.used, c.maxDtNear = 0, 0, 0
+}
+
+// tryPush files en into its bucket, or reports false when the event lies
+// beyond the current window (the caller spills it into the overflow heap).
+// Events are never earlier than the drain position: the engine only
+// schedules at or after the current time, which lives in bucket cur.
+func (c *calQueue) tryPush(en entry) bool {
+	dt := en.at - float64(c.start)
+	f := dt * c.invWidth
+	if !(f < float64(len(c.buckets))) { // also catches NaN defensively
+		if dt < c.nearLimit && dt > c.maxDtNear {
+			c.maxDtNear = dt
+		}
+		return false
+	}
+	i := int(f)
+	if i < c.cur {
+		// Float-rounding guard: a delivery at exactly the drain position's
+		// time must stay poppable. In-bucket ordering keeps it correct.
+		i = c.cur
+	}
+	b := c.buckets[i]
+	if i == c.cur && c.sorted {
+		// The live bucket is already sorted and partially drained: insert
+		// into its unpopped tail. This only happens for deliveries scheduled
+		// within the width of the bucket being drained (e.g. δ = ε), so the
+		// shifted tail is short.
+		b = append(b, entry{})
+		j := len(b) - 1
+		for j > c.pos && entryLess(&en, &b[j-1]) {
+			b[j] = b[j-1]
+			j--
+		}
+		b[j] = en
+	} else {
+		b = append(b, en)
+	}
+	c.buckets[i] = b
+	c.occ[i>>6] |= 1 << (uint(i) & 63)
+	c.count++
+	c.inserted++
+	return true
+}
+
+// peek returns the minimum entry; the caller must ensure count > 0. The
+// pointer is valid only until the next push or pop. Advancing into a bucket
+// sorts it once; empty stretches between clusters are skipped through the
+// occupancy bitmap (64 buckets per word scan), so sparse windows cost
+// nearly nothing to cross.
+func (c *calQueue) peek() *entry {
+	for {
+		b := c.buckets[c.cur]
+		if c.pos < len(b) {
+			if !c.sorted {
+				// First entry into this bucket: sort it, and count it for
+				// the width tuner's fill estimate (the drain enters each
+				// nonempty bucket exactly once per window, so tallying
+				// here keeps the stat off the push hot path).
+				c.used++
+				sortBucket(b[c.pos:])
+				c.sorted = true
+			}
+			return &b[c.pos]
+		}
+		// Recycle the drained bucket. Entries are pointer-free, so stale
+		// slots pin nothing — no scrubbing needed.
+		c.buckets[c.cur] = b[:0]
+		c.occ[c.cur>>6] &^= 1 << (uint(c.cur) & 63)
+		c.cur = c.nextOccupied(c.cur + 1)
+		c.pos, c.sorted = 0, false
+	}
+}
+
+// nextOccupied returns the first bucket index ≥ i with its occupancy bit
+// set. The caller guarantees one exists (count > 0).
+func (c *calQueue) nextOccupied(i int) int {
+	w := i >> 6
+	word := c.occ[w] & (^uint64(0) << (uint(i) & 63))
+	for word == 0 {
+		w++
+		word = c.occ[w]
+	}
+	return w<<6 + bits.TrailingZeros64(word)
+}
+
+// pop removes and returns the minimum entry.
+func (c *calQueue) pop() entry {
+	en := *c.peek()
+	c.pos++
+	c.count--
+	return en
+}
+
+// sortBucket orders a bucket's unpopped tail by entryLess. Buckets are
+// near-singleton by construction (the width tuner and bucket-count sizing
+// steer toward a few entries), so the common cases are handled inline and
+// the general sorter only sees the occasional dense spike (e.g. ε = 0
+// delays landing a whole fan-out on one instant).
+func sortBucket(b []entry) {
+	switch {
+	case len(b) < 2:
+		return
+	case len(b) <= 16:
+		for i := 1; i < len(b); i++ {
+			en := b[i]
+			j := i
+			for j > 0 && entryLess(&en, &b[j-1]) {
+				b[j] = b[j-1]
+				j--
+			}
+			b[j] = en
+		}
+	default:
+		slices.SortFunc(b, entryCmp)
+	}
+}
+
+// sched is the hybrid scheduler the engine talks to. In heap mode (small
+// workloads, or forced) events live as full values in the legacy 4-ary
+// eventQueue and the calendar machinery is dormant — the byte-for-byte
+// pre-calendar scheduler. In calendar mode messages live in the slab and
+// compact entries flow through the calendar and the overflow entryHeap;
+// every overflow entry is strictly later than every calendar entry (the
+// window ranges are disjoint), so the calendar minimum is the global
+// minimum whenever the calendar is nonempty.
+type sched struct {
+	heap      eventQueue // heap mode storage (full events)
+	slab      msgSlab    // calendar mode message storage
+	cal       calQueue
+	oheap     entryHeap // calendar mode far-future overflow
+	calOn     bool
+	mode      Scheduler
+	spanHint  float64 // declared delay window δ+2ε, seeds the bucket width
+	eventHint int     // expected peak buffered events (Config.EventHint)
+}
+
+// init records the workload shape. span is the declared one-way delay
+// window δ+2ε — the real-time interval one broadcast's fan-out lands in —
+// which seeds the bucket width; the tuner refines it from observed traffic
+// at every window rotation.
+func (s *sched) init(mode Scheduler, hint int, delta, eps float64) {
+	s.mode = mode
+	s.eventHint = hint
+	span := delta + 2*eps
+	if !(span > 0) || math.IsInf(span, 1) {
+		span = 1e-3
+	}
+	s.spanHint = span
+	if mode == SchedulerCalendar || (mode == SchedulerAuto && hint >= calActivateLen) {
+		s.activate()
+	}
+}
+
+func (s *sched) len() int {
+	if s.calOn {
+		return s.cal.count + s.oheap.len()
+	}
+	return s.heap.len()
+}
+
+// grow pre-sizes the backing stores for about c buffered events: the free
+// list in heap mode; the slab plus a slice of the overflow heap (timers and
+// rejoin wake-ups, a small fraction of c) in calendar mode.
+func (s *sched) grow(c int) {
+	if s.calOn {
+		s.slab.grow(c)
+		s.oheap.grow(c/8 + 64)
+		return
+	}
+	s.heap.grow(c)
+}
+
+func (s *sched) push(ev *event) {
+	if s.calOn {
+		en := entry{
+			at:  float64(ev.msg.DeliverAt),
+			key: packKey(ev.msg.Kind, ev.seq),
+			ref: s.slab.put(&ev.msg),
+		}
+		if !s.cal.tryPush(en) {
+			s.oheap.push(en)
+		}
+		return
+	}
+	s.heap.push(*ev)
+	if s.mode == SchedulerAuto && s.heap.len() >= calActivateLen {
+		s.activate()
+	}
+}
+
+// peekTime returns the delivery time of the minimum buffered event, or
+// ok == false when the queue is empty.
+func (s *sched) peekTime() (clock.Real, bool) {
+	if !s.calOn {
+		ev := s.heap.peek()
+		if ev == nil {
+			return 0, false
+		}
+		return ev.msg.DeliverAt, true
+	}
+	if s.cal.count == 0 {
+		if s.oheap.len() == 0 {
+			return 0, false
+		}
+		s.rotate()
+	}
+	return clock.Real(s.cal.peek().at), true
+}
+
+// popMsg removes the minimum event, writing its message directly into out
+// (no intermediate event value crosses the call boundary — this is the once
+// -per-delivered-event path). The caller must ensure the queue is nonempty.
+func (s *sched) popMsg(out *Message) {
+	if !s.calOn {
+		*out = s.heap.pop().msg
+		return
+	}
+	if s.cal.count == 0 {
+		s.rotate()
+	}
+	en := s.cal.pop()
+	s.slab.take(en.ref, out)
+}
+
+// pop removes and returns the minimum event; the caller must ensure the
+// queue is nonempty. (Tests use it; the engine's event loop goes through
+// popMsg.)
+func (s *sched) pop() event {
+	if !s.calOn {
+		return s.heap.pop()
+	}
+	if s.cal.count == 0 {
+		s.rotate()
+	}
+	en := s.cal.pop()
+	ev := event{seq: en.key &^ entryTimerBit}
+	s.slab.take(en.ref, &ev.msg)
+	return ev
+}
+
+// activate switches to calendar mode, migrating whatever the heap holds.
+// The bucket count scales to about twice the expected population (hint or
+// current size), clamped to a power of two in [256, calMaxBuckets]: a
+// window's events concentrate in its active span (a delay window's worth of
+// a horizon that also covers the round's timers), so 2× buckets puts the
+// active-span fill near a few entries and pops stay near sort-free. The
+// initial width spreads twice the declared delay window across the buckets:
+// a round's traffic stretches past one span (senders spread over β keep
+// broadcasting while the first fan-outs land), and a too-short first window
+// would send the whole opening round through the overflow heap before the
+// tuner could react — a cost every fresh engine would pay again. Too wide
+// merely leaves the bitmap sparser.
+func (s *sched) activate() {
+	if s.calOn || s.mode == SchedulerHeap {
+		return
+	}
+	target := s.heap.len()
+	if s.eventHint > target {
+		target = s.eventHint
+	}
+	nb := 256
+	for nb < calMaxBuckets && nb < 2*target {
+		nb *= 2
+	}
+	// Carve every bucket's initial capacity out of one pointer-free
+	// backing array (the three-index slice caps each bucket at
+	// calArenaFill, so an overfull bucket reallocates itself without
+	// clobbering its neighbors). One allocation replaces nb small ones,
+	// and the steady state appends into recycled capacity.
+	s.cal.buckets = make([][]entry, nb)
+	s.cal.occ = make([]uint64, nb/64)
+	arena := make([]entry, nb*calArenaFill)
+	for i := range s.cal.buckets {
+		o := i * calArenaFill
+		s.cal.buckets[i] = arena[o : o : o+calArenaFill]
+	}
+	s.cal.nearLimit = calNearFactor * s.spanHint
+	s.calOn = true
+
+	start := clock.Real(0)
+	if ev := s.heap.peek(); ev != nil {
+		start = ev.msg.DeliverAt
+	}
+	s.cal.reset(start, sanitizeWidth(2*s.spanHint/float64(nb)))
+	if s.heap.len() == 0 {
+		return
+	}
+	// Re-file the buffered events through the slab: near ones into
+	// buckets, far ones into the overflow heap. The old backing array is
+	// iterated in place — heap order is irrelevant here, tryPush ignores
+	// arrival order on unsorted buckets — then released.
+	old := s.heap.items
+	s.heap.items = nil
+	s.slab.grow(max(s.eventHint, len(old)))
+	for i := range old {
+		s.push(&old[i])
+	}
+}
+
+// calDebug (environment variable CALDEBUG, any non-empty value) prints one
+// line per window rotation — width, events accepted, buckets used, furthest
+// near-future spill, overflow population — to stderr. It is the intended
+// way to watch the width tuner converge on a new workload shape before
+// codifying the expectation in a test (TestCalendarTunerConverges was
+// written from exactly this output).
+var calDebug = os.Getenv("CALDEBUG") != ""
+
+// rotate advances the calendar to a new window anchored at the earliest
+// overflow event, retuning the bucket width from the finished window's
+// observed traffic first, then migrating every overflow entry that fits
+// the new window (a 24-byte entry move each — slab slots stay put). Called
+// when the calendar drains while overflow remains.
+func (s *sched) rotate() {
+	c := &s.cal
+	if calDebug {
+		println("rotate: width(ns)=", int64(c.width*1e9), "inserted=", c.inserted,
+			"used=", c.used, "maxDtNear(ns)=", int64(c.maxDtNear*1e9), "heapLen=", s.oheap.len())
+	}
+	// Width tuning, from two decoupled signals of the finished window:
+	//
+	//   - resolution: if buckets ran overfull, shrink toward the width
+	//     that puts calTargetFill events in a bucket (this signal only
+	//     ever shrinks — sparse windows, e.g. timer-only ones, must not
+	//     inflate the width);
+	//   - horizon: if near-future events spilled past the window end, the
+	//     observed delay spread outgrew the window (broadcast fan-outs
+	//     landing δ+ε after senders spread over β, staggered or
+	//     adversarially lagged traffic) — widen so the furthest of them
+	//     fits the next window.
+	//
+	// The horizon signal wins, and it is sticky: the delay spread of a
+	// round is a property of the workload, not of the single window that
+	// happened to observe the spill — round-structured traffic alternates
+	// message-dense windows (which would vote to shrink) with timer
+	// windows whose fan-outs need the full horizon, and letting each
+	// window retune in isolation oscillates the width and sends every
+	// other round through the heap. An overfull bucket costs a slightly
+	// longer sort; a too-short window costs O(log m) heap traffic for
+	// whole rounds — so the floor only ever rises. It converges within a
+	// rotation or two because it is computed from observed times, not
+	// stepped by fixed factors, and stays bounded by nearLimit/buckets.
+	nb1 := float64(len(c.buckets) - 1)
+	if wh := c.maxDtNear / nb1; wh > c.reqWidth {
+		c.reqWidth = wh
+	}
+	// The push-time spill signal only sees traffic that arrived while a
+	// window was active. Events that land in the overflow heap wholesale —
+	// a far-future cluster the drain is about to jump to — would otherwise
+	// teach the tuner one window-length per rotation. One pass over the
+	// (unsorted) overflow array reads the cluster's near-future spread
+	// directly, so the next window covers it in full. The heap is small in
+	// steady state (timers, rejoin wake-ups), so the scan is cheap.
+	base := s.oheap.peek().at
+	spread := 0.0
+	for i := range s.oheap.items {
+		if dt := s.oheap.items[i].at - base; dt < c.nearLimit && dt > spread {
+			spread = dt
+		}
+	}
+	if wh := spread / nb1; wh > c.reqWidth {
+		c.reqWidth = wh
+	}
+	w := c.width
+	if c.used > 0 {
+		if avg := float64(c.inserted) / float64(c.used); avg > calTargetFill {
+			w = w * calTargetFill / avg
+		}
+	}
+	if w < c.reqWidth {
+		w = c.reqWidth
+	}
+	c.reset(clock.Real(base), sanitizeWidth(w))
+	for s.oheap.len() > 0 {
+		if !c.tryPush(*s.oheap.peek()) {
+			break // first event beyond the window; heap order ⇒ so is the rest
+		}
+		s.oheap.pop()
+	}
+}
+
+// sanitizeWidth clamps a bucket width to a positive finite value, guarding
+// the tuner against degenerate spans (ε = δ = 0) and fuzzed NaN/Inf inputs.
+func sanitizeWidth(w float64) float64 {
+	if !(w > calMinWidth) { // catches NaN, zero, negatives
+		return calMinWidth
+	}
+	if math.IsInf(w, 1) || w > 1e18 {
+		return 1e18
+	}
+	return w
+}

@@ -14,16 +14,45 @@ type DelayModel interface {
 	Bounds() (delta, eps float64)
 }
 
+// BatchDelayModel is the broadcast fan-out fast path: SampleAll fills
+// out[q] with the delay of the copy to process q for q = 0..n−1, exactly
+// the values n successive Sample(from, q, …) calls would return — same rng
+// draws, same fixed pid order — but with one call for the whole fan-out.
+// Models that don't implement it are sampled per copy by the engine, with
+// identical results.
+type BatchDelayModel interface {
+	DelayModel
+	SampleAll(from ProcID, n int, at clock.Real, rng *RNG, out []float64)
+}
+
+// BatchChannel is the broadcast routing fast path: RouteAll routes the copy
+// to every process q = 0..n−1 given its sampled base delay, filling at[q]
+// and ok[q] with what n successive Route calls in pid order would produce
+// (including any channel state evolution, e.g. Ether's per-receiver
+// contention bookkeeping). Channels that don't implement it are routed per
+// copy by the engine, with identical results.
+type BatchChannel interface {
+	Channel
+	RouteAll(from ProcID, sentAt clock.Real, base []float64, at []clock.Real, ok []bool)
+}
+
 // ConstantDelay delivers every message in exactly δ (ε = 0) — the idealized
 // network in which the algorithm's estimator ARR−(T+δ) is exact.
 type ConstantDelay struct {
 	Delta float64
 }
 
-var _ DelayModel = ConstantDelay{}
+var _ BatchDelayModel = ConstantDelay{}
 
 // Sample implements DelayModel.
 func (d ConstantDelay) Sample(_, _ ProcID, _ clock.Real, _ *RNG) float64 { return d.Delta }
+
+// SampleAll implements BatchDelayModel.
+func (d ConstantDelay) SampleAll(_ ProcID, n int, _ clock.Real, _ *RNG, out []float64) {
+	for q := 0; q < n; q++ {
+		out[q] = d.Delta
+	}
+}
 
 // Bounds implements DelayModel.
 func (d ConstantDelay) Bounds() (float64, float64) { return d.Delta, 0 }
@@ -35,11 +64,20 @@ type UniformDelay struct {
 	Eps   float64
 }
 
-var _ DelayModel = UniformDelay{}
+var _ BatchDelayModel = UniformDelay{}
 
 // Sample implements DelayModel.
 func (d UniformDelay) Sample(_, _ ProcID, _ clock.Real, rng *RNG) float64 {
 	return d.Delta - d.Eps + 2*d.Eps*rng.Float64()
+}
+
+// SampleAll implements BatchDelayModel: n draws from the same stream in the
+// same order as n Sample calls, without the per-copy interface dispatch.
+func (d UniformDelay) SampleAll(_ ProcID, n int, _ clock.Real, rng *RNG, out []float64) {
+	lo, span := d.Delta-d.Eps, 2*d.Eps
+	for q := 0; q < n; q++ {
+		out[q] = lo + span*rng.Float64()
+	}
 }
 
 // Bounds implements DelayModel.
@@ -57,7 +95,14 @@ type ExtremalDelay struct {
 	SlowTo func(from, to ProcID) bool
 }
 
-var _ DelayModel = ExtremalDelay{}
+var _ BatchDelayModel = ExtremalDelay{}
+
+// SampleAll implements BatchDelayModel.
+func (d ExtremalDelay) SampleAll(from ProcID, n int, at clock.Real, rng *RNG, out []float64) {
+	for q := 0; q < n; q++ {
+		out[q] = d.Sample(from, ProcID(q), at, rng)
+	}
+}
 
 // Sample implements DelayModel.
 func (d ExtremalDelay) Sample(from, to ProcID, _ clock.Real, _ *RNG) float64 {
@@ -85,7 +130,14 @@ type PerLinkDelay struct {
 	Seed  int64
 }
 
-var _ DelayModel = PerLinkDelay{}
+var _ BatchDelayModel = PerLinkDelay{}
+
+// SampleAll implements BatchDelayModel.
+func (d PerLinkDelay) SampleAll(from ProcID, n int, at clock.Real, rng *RNG, out []float64) {
+	for q := 0; q < n; q++ {
+		out[q] = d.Sample(from, ProcID(q), at, rng)
+	}
+}
 
 // Sample implements DelayModel.
 func (d PerLinkDelay) Sample(from, to ProcID, _ clock.Real, _ *RNG) float64 {
@@ -104,9 +156,17 @@ func (d PerLinkDelay) Bounds() (float64, float64) { return d.Delta, d.Eps }
 // at sentAt + delay.
 type FullMesh struct{}
 
-var _ Channel = FullMesh{}
+var _ BatchChannel = FullMesh{}
 
 // Route implements Channel.
 func (FullMesh) Route(_, _ ProcID, sentAt clock.Real, baseDelay float64) (clock.Real, bool) {
 	return sentAt + clock.Real(baseDelay), true
+}
+
+// RouteAll implements BatchChannel.
+func (FullMesh) RouteAll(_ ProcID, sentAt clock.Real, base []float64, at []clock.Real, ok []bool) {
+	for q := range base {
+		at[q] = sentAt + clock.Real(base[q])
+		ok[q] = true
+	}
 }

@@ -17,7 +17,7 @@ type Link struct {
 	From, To ProcID
 }
 
-var _ Channel = LossyLinks{}
+var _ BatchChannel = LossyLinks{}
 
 // NewLossyLinks builds a channel with the given failed directed links. Pass
 // pairs as (from, to); use BreakBothWays for symmetric failures.
@@ -42,4 +42,16 @@ func (c LossyLinks) Route(from, to ProcID, sentAt clock.Real, baseDelay float64)
 		return 0, false
 	}
 	return sentAt + clock.Real(baseDelay), true
+}
+
+// RouteAll implements BatchChannel: one map probe per copy, no interface
+// dispatch per copy.
+func (c LossyLinks) RouteAll(from ProcID, sentAt clock.Real, base []float64, at []clock.Real, ok []bool) {
+	for q := range base {
+		if ProcID(q) != from && c.Dead[Link{From: from, To: ProcID(q)}] {
+			at[q], ok[q] = 0, false
+			continue
+		}
+		at[q], ok[q] = sentAt+clock.Real(base[q]), true
+	}
 }

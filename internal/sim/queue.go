@@ -25,8 +25,10 @@ type eventQueue struct {
 	items []event
 }
 
-// less orders a before b by (DeliverAt, non-TIMER first, seq).
-func (q *eventQueue) less(a, b *event) bool {
+// eventLess orders a before b by (DeliverAt, non-TIMER first, seq). It is
+// the single comparator shared by the 4-ary heap and the calendar queue's
+// bucket sort, so both schedulers produce the same total pop order.
+func eventLess(a, b *event) bool {
 	if a.msg.DeliverAt != b.msg.DeliverAt {
 		return a.msg.DeliverAt < b.msg.DeliverAt
 	}
@@ -36,6 +38,9 @@ func (q *eventQueue) less(a, b *event) bool {
 	}
 	return a.seq < b.seq
 }
+
+// less delegates to eventLess (kept as a method for the heap's call sites).
+func (q *eventQueue) less(a, b *event) bool { return eventLess(a, b) }
 
 func (q *eventQueue) len() int { return len(q.items) }
 
@@ -110,6 +115,7 @@ func (q *eventQueue) pop() event {
 
 // push enqueues a message with the next sequence number.
 func (e *Engine) push(m Message) {
-	e.queue.push(event{msg: m, seq: e.seq})
+	ev := event{msg: m, seq: e.seq}
 	e.seq++
+	e.queue.push(&ev)
 }

@@ -8,76 +8,157 @@ import (
 	"repro/internal/clock"
 )
 
-// genEvent builds a random event with the given sequence number. Delivery
-// times are drawn from a handful of discrete values so kind and sequence
-// tie-breaks are exercised constantly.
-func genEvent(rng *rand.Rand, seq uint64) event {
+// popQueue abstracts the scheduler implementations under differential test:
+// the legacy 4-ary heap and the hybrid sched in its various modes all
+// expose the same pop contract.
+type popQueue interface {
+	push(ev *event)
+	pop() event
+	len() int
+}
+
+// heapAdapter gives eventQueue the pointer-push signature of sched.
+type heapAdapter struct{ q eventQueue }
+
+func (h *heapAdapter) push(ev *event) { h.q.push(*ev) }
+func (h *heapAdapter) pop() event     { return h.q.pop() }
+func (h *heapAdapter) len() int       { return h.q.len() }
+
+// queueConfigs enumerates the scheduler implementations that must agree:
+// the plain heap, an auto sched (which flips to the calendar mid-run when
+// the population crosses the activation threshold), an eagerly-activated
+// calendar, and calendars whose declared delay span wildly mismatches the
+// generated traffic (forcing constant window rotation and overflow spill
+// in both directions).
+func queueConfigs() map[string]func() popQueue {
+	return map[string]func() popQueue{
+		"heap": func() popQueue { return &heapAdapter{} },
+		"auto": func() popQueue {
+			s := &sched{}
+			s.init(SchedulerAuto, 0, 1e-2, 1e-3)
+			return s
+		},
+		"calendar": func() popQueue {
+			s := &sched{}
+			s.init(SchedulerCalendar, 2048, 1e-2, 1e-3)
+			return s
+		},
+		"calendar-narrow": func() popQueue {
+			// Tiny declared span: nearly everything overflows at first and
+			// the tuner has to widen through rotations.
+			s := &sched{}
+			s.init(SchedulerCalendar, 0, 1e-9, 0)
+			return s
+		},
+		"calendar-wide": func() popQueue {
+			// Huge declared span: the whole run lands in one window and
+			// dense buckets exercise the sort paths.
+			s := &sched{}
+			s.init(SchedulerCalendar, 0, 1e3, 10)
+			return s
+		},
+	}
+}
+
+// TestQueueMatchesNaiveSort cross-checks every scheduler implementation
+// against a naive reference: under random push/pop interleavings, every pop
+// must return exactly the minimum of the outstanding events in (DeliverAt,
+// non-TIMER first, seq) order — the order a plain sort of the same events
+// produces. Pushes respect the engine's scheduling contract (never earlier
+// than the last popped delivery time); the generated times mix same-instant
+// ties, dense clusters, and far-future jumps so the calendar's bucket
+// rotation and overflow spill paths run constantly.
+func TestQueueMatchesNaiveSort(t *testing.T) {
+	for name, mk := range queueConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				q := mk()
+				rng := rand.New(rand.NewSource(seed))
+				total := 1 + rng.Intn(700)
+
+				var pending []event // naive mirror of the queue's contents
+				floor := clock.Real(0)
+				popCheck := func() {
+					min := 0
+					for i := range pending {
+						if eventLess(&pending[i], &pending[min]) {
+							min = i
+						}
+					}
+					want := pending[min]
+					pending = append(pending[:min], pending[min+1:]...)
+					got := q.pop()
+					if got.seq != want.seq {
+						t.Fatalf("seed %d: pop returned seq %d (t=%v %v), naive min is seq %d (t=%v %v)",
+							seed, got.seq, got.msg.DeliverAt, got.msg.Kind,
+							want.seq, want.msg.DeliverAt, want.msg.Kind)
+					}
+					if got.msg.DeliverAt != want.msg.DeliverAt || got.msg.Kind != want.msg.Kind {
+						t.Fatalf("seed %d: seq %d popped with corrupted contents (t=%v %v, want t=%v %v)",
+							seed, got.seq, got.msg.DeliverAt, got.msg.Kind,
+							want.msg.DeliverAt, want.msg.Kind)
+					}
+					floor = got.msg.DeliverAt
+				}
+
+				pushed := 0
+				for pushed < total {
+					if len(pending) > 0 && rng.Intn(3) == 0 {
+						popCheck()
+						continue
+					}
+					ev := genEventAfter(rng, floor, uint64(pushed))
+					q.push(&ev)
+					pending = append(pending, ev)
+					pushed++
+				}
+
+				// Drain what is left and compare the full pop sequence
+				// against a sorted copy in one shot.
+				ref := make([]event, len(pending))
+				copy(ref, pending)
+				sort.Slice(ref, func(i, j int) bool { return eventLess(&ref[i], &ref[j]) })
+				for _, want := range ref {
+					if got := q.pop(); got.seq != want.seq {
+						t.Fatalf("seed %d: drain order diverges from naive sort: got seq %d, want %d",
+							seed, got.seq, want.seq)
+					}
+				}
+				if q.len() != 0 {
+					t.Fatalf("seed %d: queue not empty after drain", seed)
+				}
+			}
+		})
+	}
+}
+
+// genEventAfter builds a random event delivered at or after floor — the
+// engine's scheduling contract (a Receive only schedules at or after the
+// current time). The offset distribution deliberately mixes exact ties
+// (timer vs ordinary tie-breaks), sub-width jitter, cluster-scale offsets,
+// and far-future jumps many windows out.
+func genEventAfter(rng *rand.Rand, floor clock.Real, seq uint64) event {
 	kinds := [...]Kind{KindOrdinary, KindStart, KindTimer}
+	var off clock.Real
+	switch rng.Intn(8) {
+	case 0: // exact tie with the last popped delivery
+	case 1, 2, 3: // within-cluster jitter
+		off = clock.Real(rng.Float64() * 1e-3)
+	case 4, 5: // one delay window ahead
+		off = clock.Real(1e-2 + rng.Float64()*2e-3)
+	case 6: // several windows ahead (overflow territory)
+		off = clock.Real(rng.Float64() * 0.3)
+	default: // next round / rejoin distance (deep overflow)
+		off = clock.Real(1 + rng.Float64()*10)
+	}
 	return event{
 		msg: Message{
 			Kind:      kinds[rng.Intn(len(kinds))],
 			From:      ProcID(rng.Intn(4)),
 			To:        ProcID(rng.Intn(4)),
-			DeliverAt: clock.Real(rng.Intn(7)),
+			DeliverAt: floor + off,
 		},
 		seq: seq,
-	}
-}
-
-// TestQueueMatchesNaiveSort cross-checks the 4-ary heap against a naive
-// reference: under random push/pop interleavings, every pop must return
-// exactly the minimum of the outstanding events in (DeliverAt, non-TIMER
-// first, seq) order — the order a plain sort of the same events produces.
-func TestQueueMatchesNaiveSort(t *testing.T) {
-	for seed := int64(0); seed < 40; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		total := 1 + rng.Intn(200)
-
-		var q eventQueue
-		var pending []event // naive mirror of the queue's contents
-		popCheck := func() {
-			min := 0
-			for i := range pending {
-				if q.less(&pending[i], &pending[min]) {
-					min = i
-				}
-			}
-			want := pending[min]
-			pending = append(pending[:min], pending[min+1:]...)
-			got := q.pop()
-			if got.seq != want.seq {
-				t.Fatalf("seed %d: pop returned seq %d (t=%v %v), naive min is seq %d (t=%v %v)",
-					seed, got.seq, got.msg.DeliverAt, got.msg.Kind,
-					want.seq, want.msg.DeliverAt, want.msg.Kind)
-			}
-		}
-
-		pushed := 0
-		for pushed < total {
-			if len(pending) > 0 && rng.Intn(3) == 0 {
-				popCheck()
-				continue
-			}
-			ev := genEvent(rng, uint64(pushed))
-			q.push(ev)
-			pending = append(pending, ev)
-			pushed++
-		}
-
-		// Drain what is left and compare the full pop sequence against a
-		// sorted copy in one shot.
-		ref := make([]event, len(pending))
-		copy(ref, pending)
-		sort.Slice(ref, func(i, j int) bool { return q.less(&ref[i], &ref[j]) })
-		for _, want := range ref {
-			if got := q.pop(); got.seq != want.seq {
-				t.Fatalf("seed %d: drain order diverges from naive sort: got seq %d, want %d",
-					seed, got.seq, want.seq)
-			}
-		}
-		if q.len() != 0 {
-			t.Fatalf("seed %d: queue not empty after drain", seed)
-		}
 	}
 }
 

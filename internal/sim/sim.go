@@ -157,6 +157,18 @@ type Config struct {
 	// MaxSteps bounds the number of delivered messages; 0 means a large
 	// default. Guards against runaway (e.g. adversarial) executions.
 	MaxSteps int
+	// Scheduler selects the event-queue implementation; the zero value
+	// (SchedulerAuto) picks heap or calendar from the workload shape. Every
+	// scheduler produces the identical event order — the knob exists for
+	// benchmarking the structures against each other.
+	Scheduler Scheduler
+	// EventHint is the expected peak number of buffered events (a full
+	// broadcast round keeps ≈ n² copies plus a timer per process in
+	// flight). A hint pre-sizes the queue's backing stores so large-n runs
+	// skip growth-doubling copies, and lets SchedulerAuto activate the
+	// calendar eagerly instead of migrating mid-run. Zero derives the
+	// default n² + 2n + 8 from the process count.
+	EventHint int
 }
 
 // Engine executes a system configuration event by event.
@@ -168,15 +180,24 @@ type Engine struct {
 	corr      []CorrHolder // per-process CorrHolder, asserted once at New (nil if none)
 	delay     DelayModel
 	channel   Channel
-	seed      int64
-	rng       RNG          // delay-sampling stream (splitmix64)
-	prand     []*rand.Rand // per-process Context.Rand streams, built lazily
-	queue     eventQueue
-	now       clock.Real
-	seq       uint64
-	steps     int
-	maxSteps  int
-	ctx       Context // one reusable per-delivery context per engine
+	// Batched broadcast fast paths, type-asserted once at New: nil when the
+	// configured model/channel implements only the per-copy interface.
+	delayBatch BatchDelayModel
+	chanBatch  BatchChannel
+	// Reusable per-broadcast buffers (length n), so a batched broadcast
+	// performs no allocation.
+	bcastDelay []float64
+	bcastAt    []clock.Real
+	bcastOK    []bool
+	seed       int64
+	rng        RNG          // delay-sampling stream (splitmix64)
+	prand      []*rand.Rand // per-process Context.Rand streams, built lazily
+	queue      sched
+	now        clock.Real
+	seq        uint64
+	steps      int
+	maxSteps   int
+	ctx        Context // one reusable per-delivery context per engine
 
 	// Cached nonfaulty local-time spread for the current sample point.
 	// Several observers (skew recorder, validity recorder, the invariant
@@ -257,6 +278,17 @@ func New(cfg Config) (*Engine, error) {
 		maxSteps: maxSteps,
 	}
 	e.ctx.eng = e
+	// Classify the batched fast paths once; nil means fall back to the
+	// per-copy Sample/Route loop (same draws, same order).
+	if bd, ok := delay.(BatchDelayModel); ok {
+		e.delayBatch = bd
+	}
+	if bc, ok := ch.(BatchChannel); ok {
+		e.chanBatch = bc
+	}
+	e.bcastDelay = make([]float64, n)
+	e.bcastAt = make([]clock.Real, n)
+	e.bcastOK = make([]bool, n)
 	e.corr = make([]CorrHolder, n)
 	for i, p := range cfg.Procs {
 		if h, ok := p.(CorrHolder); ok {
@@ -269,9 +301,18 @@ func New(cfg Config) (*Engine, error) {
 			e.nonfaulty = append(e.nonfaulty, ProcID(i))
 		}
 	}
-	// Pre-size the queue's free list: a broadcast round keeps about n²
-	// copies plus one timer per process in flight.
-	e.queue.grow(n*n + 2*n + 8)
+	// Pre-size the queue's backing stores: a broadcast round keeps about n²
+	// copies plus one timer per process in flight, unless the workload
+	// supplied a sharper hint. The hint also decides the scheduler shape up
+	// front (see Scheduler/EventHint), so large-n runs start on the
+	// calendar with no mid-run migration.
+	hint := cfg.EventHint
+	if hint <= 0 {
+		hint = n*n + 2*n + 8
+	}
+	d, eps := delay.Bounds()
+	e.queue.init(cfg.Scheduler, hint, d, eps)
+	e.queue.grow(hint)
 	for i := 0; i < n; i++ {
 		e.push(Message{
 			From:      ProcID(i),
@@ -389,9 +430,10 @@ func (e *Engine) Process(p ProcID) Process { return e.procs[p] }
 // would exceed until, or the step limit is hit (an error). It may be called
 // repeatedly with increasing horizons.
 func (e *Engine) Run(until clock.Real) error {
+	var m Message
 	for {
-		ev := e.queue.peek()
-		if ev == nil || ev.msg.DeliverAt > until {
+		at, ok := e.queue.peekTime()
+		if !ok || at > until {
 			// Advance the clock to the horizon so metrics sampled at
 			// e.Now() reflect the full interval.
 			if e.now < until {
@@ -404,18 +446,25 @@ func (e *Engine) Run(until clock.Real) error {
 		if e.steps >= e.maxSteps {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxSteps, e.now)
 		}
-		m := e.queue.pop().msg
+		e.queue.popMsg(&m)
 		e.now = m.DeliverAt
 		e.spreadOK = false
 		e.steps++
-		e.sample(true) // configuration immediately before the action
+		// The observer fan-outs are pre-classified at Observe time; skip
+		// the call overhead entirely on the (benchmark-typical) paths with
+		// nobody listening rather than iterating empty slices per event.
+		if len(e.samplers) > 0 {
+			e.sample(true) // configuration immediately before the action
+		}
 		for _, d := range e.delivery {
 			d.OnDeliver(e, m)
 		}
 		e.ctx.pid = m.To
 		e.procs[m.To].Receive(&e.ctx, m)
 		e.spreadOK = false // the delivery may have changed a correction
-		e.sample(false)    // configuration immediately after the action
+		if len(e.samplers) > 0 {
+			e.sample(false) // configuration immediately after the action
+		}
 	}
 }
 
@@ -433,6 +482,52 @@ func (e *Engine) annotate(p ProcID, tag string, v float64) {
 	a := Annotation{At: e.now, Proc: p, Tag: tag, Value: v}
 	for _, s := range e.annots {
 		s.OnAnnotation(e, a)
+	}
+}
+
+// Broadcast schedules one ordinary message copy from p to every process,
+// including itself, as a single batched fan-out: delays for all n copies are
+// sampled in one call (in fixed pid order, drawing exactly the stream the
+// per-copy path would), the channel routes them in one RouteAll, and the
+// copies enter the queue in one pass — in calendar mode an amortized O(n)
+// for the whole round instead of n separate O(log m) heap sifts. The
+// payload is shared across copies, and the per-copy (DeliverAt, seq) order
+// is identical to n successive Send calls, so executions are byte-for-byte
+// unchanged.
+func (e *Engine) Broadcast(from ProcID, payload any) {
+	n := len(e.procs)
+	base := e.bcastDelay[:n]
+	if e.delayBatch != nil {
+		e.delayBatch.SampleAll(from, n, e.now, &e.rng, base)
+	} else {
+		for q := 0; q < n; q++ {
+			base[q] = e.delay.Sample(from, ProcID(q), e.now, &e.rng)
+		}
+	}
+	at, ok := e.bcastAt[:n], e.bcastOK[:n]
+	if e.chanBatch != nil {
+		e.chanBatch.RouteAll(from, e.now, base, at, ok)
+	} else {
+		for q := 0; q < n; q++ {
+			at[q], ok[q] = e.channel.Route(from, ProcID(q), e.now, base[q])
+		}
+	}
+	// One template event, patched per receiver: the 64-byte struct and its
+	// write-barriered Payload words are built once and copied exactly once
+	// per copy — into the queue slot — instead of being reassembled and
+	// passed by value through every call layer.
+	ev := event{msg: Message{From: from, Kind: KindOrdinary, Payload: payload, SentAt: e.now}}
+	for q := 0; q < n; q++ {
+		if !ok[q] {
+			e.msgsLost++
+			continue
+		}
+		e.msgsSent++
+		ev.msg.To = ProcID(q)
+		ev.msg.DeliverAt = at[q]
+		ev.seq = e.seq
+		e.seq++
+		e.queue.push(&ev)
 	}
 }
 
@@ -485,12 +580,10 @@ func (c *Context) Send(to ProcID, payload any) { c.eng.send(c.pid, to, payload) 
 
 // Broadcast sends the payload to every process, including the sender (§2.2:
 // every process can communicate with every process, including itself). Each
-// copy's delay is drawn independently within [δ−ε, δ+ε].
-func (c *Context) Broadcast(payload any) {
-	for q := range c.eng.procs {
-		c.eng.send(c.pid, ProcID(q), payload)
-	}
-}
+// copy's delay is drawn independently within [δ−ε, δ+ε]. The fan-out runs
+// through the engine's batched path (Engine.Broadcast): one delay-sampling
+// call, one routing call, one queue pass for all n copies.
+func (c *Context) Broadcast(payload any) { c.eng.Broadcast(c.pid, payload) }
 
 // SetTimer requests a TIMER interrupt when the process's physical clock
 // reaches T. The payload is returned in the TIMER message.
