@@ -166,10 +166,14 @@ func BenchmarkClockInverse(b *testing.B) {
 //   - steady: the no-observer steady state, one op per delivered event —
 //     allocs/op here is the engine's own allocation rate and must stay at
 //     (effectively) zero;
-//   - workload: one full experiment-harness run per op, recorders attached.
+//   - workload: one full experiment-harness run per op, recorders attached;
+//   - adversary: steady state with the delivery pipeline's adversary stage
+//     active (every copy retimed through the clamped view, every delivery
+//     hook-dispatched) — the regime E18's adaptive strategies pay for.
 func BenchmarkEngineThroughput(b *testing.B) {
 	b.Run("steady", bench.EngineSteady)
 	b.Run("workload", bench.EngineWorkload)
+	b.Run("adversary", bench.EngineAdversary)
 }
 
 // BenchmarkLargeN measures the round-structured broadcast regime the

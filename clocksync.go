@@ -89,6 +89,21 @@ func New(n, f int, opts ...Option) (*Cluster, error) {
 			return nil, fmt.Errorf("clocksync: fault id %d out of range [0,%d)", id, n)
 		}
 	}
+	if o.adversary != "" {
+		// Exclusive with the other fault-slot owners: a strategy mix fills
+		// the top f ids itself, and silently merging with WithFault automata
+		// or a WithRejoiner override would either overwrite strategy members
+		// or push the execution past the f budget (violating A2 unnoticed).
+		if len(o.faults) > 0 {
+			return nil, fmt.Errorf("clocksync: WithAdversary(%q) and WithFault are mutually exclusive", o.adversary)
+		}
+		if o.rejoinID >= 0 {
+			return nil, fmt.Errorf("clocksync: WithAdversary(%q) and WithRejoiner are mutually exclusive", o.adversary)
+		}
+		if _, err := faults.ByName(o.adversary); err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+	}
 	return &Cluster{cfg: cfg, opts: o}, nil
 }
 
@@ -115,8 +130,27 @@ func (c *Cluster) Run(rounds int) (*Report, error) {
 		tracer = sim.NewTracer(c.opts.traceLimit)
 		w.Observers = append(w.Observers, tracer)
 	}
+	if c.opts.adversary != "" {
+		// Resolved per Run: strategy instances (and their adversaries) are
+		// stateful and single-use, like every fault mix.
+		s, err := faults.ByName(c.opts.adversary)
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		if s.Adaptive() {
+			var members []sim.ProcID
+			if s.WantsMembers {
+				members = faults.TopIDs(c.cfg.F, c.cfg.N)
+			}
+			w.Faults, w.Adversary = faults.MixAdaptive(s, c.cfg, members, c.opts.seed)
+		} else {
+			w.Faults = faults.Mix(s, c.cfg, faults.TopIDs(c.cfg.F, c.cfg.N), c.opts.seed)
+		}
+	}
 	if len(c.opts.faults) > 0 || c.opts.rejoinID >= 0 {
-		w.Faults = make(map[sim.ProcID]func() sim.Process, len(c.opts.faults)+1)
+		if w.Faults == nil {
+			w.Faults = make(map[sim.ProcID]func() sim.Process, len(c.opts.faults)+1)
+		}
 		for id, kind := range c.opts.faults {
 			w.Faults[sim.ProcID(id)] = c.faultBuilder(kind)
 		}

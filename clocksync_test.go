@@ -27,6 +27,20 @@ func TestNewValidation(t *testing.T) {
 			clocksync.WithFault(7, clocksync.FaultSilent),
 		}, true},
 		{"bad round length", 7, 2, []clocksync.Option{clocksync.WithRoundLength(1e-4)}, true},
+		{"adversary strategy ok", 7, 2, []clocksync.Option{
+			clocksync.WithAdversary("skewmax"),
+		}, false},
+		{"unknown adversary strategy", 7, 2, []clocksync.Option{
+			clocksync.WithAdversary("nope"),
+		}, true},
+		{"adversary + faults conflict", 7, 2, []clocksync.Option{
+			clocksync.WithAdversary("two-faced"),
+			clocksync.WithFault(6, clocksync.FaultSilent),
+		}, true},
+		{"adversary + rejoiner conflict", 7, 2, []clocksync.Option{
+			clocksync.WithAdversary("two-faced"),
+			clocksync.WithRejoiner(6, 30, 0.5),
+		}, true},
 		{"custom regime ok", 7, 2, []clocksync.Option{
 			clocksync.WithRho(1e-6),
 			clocksync.WithDelay(1e-3, 0.1e-3),

@@ -58,6 +58,9 @@ func main() {
 	}{
 		{"EngineThroughput/steady", bench.EngineSteady},
 		{"EngineThroughput/workload", bench.EngineWorkload},
+		// The delivery pipeline's adversary stage under load: a regression
+		// here means the interceptor refactor slowed the retime/hook path.
+		{"EngineThroughput/adversary", bench.EngineAdversary},
 		// The large-n broadcast regime: the calendar scheduler (auto) next
 		// to its 4-ary-heap-only baseline at each size, so the committed
 		// file records both the absolute throughput and the speedup.

@@ -7,6 +7,14 @@
 //	wlsim -n 7 -f 2 -rounds 20 -rho 1e-5 -delta 10ms -eps 1ms -p 1s
 //	wlsim -n 10 -f 3 -faults two-faced -adversarial
 //	wlsim -n 7 -f 2 -trials 32 -workers 4   # seed sweep on a worker pool
+//	wlsim -adversary-list                   # the registered strategy space
+//	wlsim -n 7 -f 2 -adversary splitter     # faulty automata from the registry
+//	wlsim -n 7 -f 0 -adversary skewmax      # adaptive delivery retiming (E18)
+//
+// -adversary resolves any strategy registered in internal/faults — fixed
+// (schedule-driven faulty automata on the top f ids) or adaptive (a
+// network adversary installed on the engine's delivery pipeline, clamped
+// to [δ−ε, δ+ε]).
 //
 // With -trials > 1 the same configuration runs across that many seeds
 // (derived deterministically from -seed, so results do not depend on
@@ -32,6 +40,7 @@ import (
 	clocksync "repro"
 	"repro/internal/exp"
 	"repro/internal/exp/runner"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -50,6 +59,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		advDelay = flag.Bool("adversarial", false, "pin delays at band edges (worst case)")
 		faultStr = flag.String("faults", "", "make the top f processes faulty: silent|two-faced|noise|stale-replay|crash")
+		advStrat = flag.String("adversary", "", "install a registered adversary strategy by name (fixed or adaptive; see -adversary-list)")
+		advList  = flag.Bool("adversary-list", false, "list the registered adversary strategies and exit")
 		startup  = flag.Bool("startup", false, "run the §9.2 establishment algorithm instead")
 		trace    = flag.Int("trace", 0, "print the first N actions of the execution log")
 		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
@@ -60,6 +71,11 @@ func main() {
 	)
 	flag.Parse()
 	runner.SetDefaultWorkers(*workers)
+
+	if *advList {
+		listAdversaries()
+		return
+	}
 
 	if *cpuprof != "" || *memprof != "" {
 		var f *os.File
@@ -126,12 +142,18 @@ func main() {
 	if *trace > 0 {
 		opts = append(opts, clocksync.WithTrace(*trace))
 	}
+	if *faultStr != "" && *advStrat != "" {
+		exitOn(fmt.Errorf("wlsim: -faults and -adversary are mutually exclusive"))
+	}
 	if *faultStr != "" {
 		kind, err := parseFault(*faultStr)
 		exitOn(err)
 		for i := 0; i < *f; i++ {
 			opts = append(opts, clocksync.WithFault(*n-1-i, kind))
 		}
+	}
+	if *advStrat != "" {
+		opts = append(opts, clocksync.WithAdversary(*advStrat))
 	}
 
 	if *trials > 1 {
@@ -214,6 +236,22 @@ func median(sorted []float64) float64 {
 		return sorted[n/2]
 	}
 	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// listAdversaries prints the registered strategy space — the same registry
+// cmd/experiments' E17/E18 sweep — one row per strategy with its kind.
+// Any name listed here can be driven interactively with -adversary.
+func listAdversaries() {
+	for _, s := range faults.Strategies() {
+		kind := "fixed"
+		if s.Adaptive() {
+			kind = "adaptive"
+			if !s.WantsMembers {
+				kind = "adaptive (no faulty members)"
+			}
+		}
+		fmt.Printf("%-15s %-30s %s\n", s.Name, kind, s.Desc)
+	}
 }
 
 func parseFault(s string) (clocksync.FaultKind, error) {

@@ -85,6 +85,21 @@ func (p Params) Gamma() float64 {
 	return p.Beta + p.Eps + p.Rho*(7*p.Beta+3*p.Delta+7*p.Eps) + 8*p.Rho*p.Rho*s + 4*math.Pow(p.Rho, 3)*s
 }
 
+// SkewLowerBound returns ε(1 − 1/n), the lower bound on achievable
+// synchronization closeness (Lundelius & Lynch's companion bound, cited in
+// §1): no algorithm — whatever its averaging function — can guarantee the
+// nonfaulty clocks closer than this, shown by a shifting argument in which
+// an adversary retimes every delivery inside the [δ−ε, δ+ε] uncertainty
+// window of A3. Experiment E18 reproduces the bound by pitting exactly that
+// adversary (the adaptive skewmax strategy on the delivery pipeline)
+// against the paper's algorithm and the §10 baselines.
+func (p Params) SkewLowerBound() float64 {
+	if p.N <= 0 {
+		return 0
+	}
+	return p.Eps * (1 - 1/float64(p.N))
+}
+
 // Lambda returns λ = (P − (1+ρ)(β+ε) − ρδ)/(1+ρ), the length of the shortest
 // round in real time (§8).
 func (p Params) Lambda() float64 {

@@ -102,6 +102,74 @@ func EngineSteady(b *testing.B) {
 	}
 }
 
+// benchAdversary is the adversary-stage benchmark load: an adaptive
+// retimer that reads the live spread (the cached view lookup a real
+// adversary pays) and pins each copy to a window edge, plus a ReceiveHook
+// so the dispatch path is measured too. It mirrors the faults.SkewMax
+// shape without importing the strategy registry.
+type benchAdversary struct{ recvs int64 }
+
+func (a *benchAdversary) Retime(v *sim.AdversaryView, _, to sim.ProcID, _ clock.Real, base float64) float64 {
+	d, e := v.Bounds()
+	lo, hi, count := v.LocalTimeSpread(v.Now())
+	if count >= 2 {
+		if lt, ok := v.LocalTime(to, v.Now()); ok && lt >= (lo+hi)/2 {
+			return d - e
+		}
+		return d + e
+	}
+	if int(to)%2 == 0 {
+		return d - e
+	}
+	return d + e
+}
+
+func (a *benchAdversary) OnReceive(_ *sim.AdversaryView, _ sim.Message) { a.recvs++ }
+
+// NewAdversarySteadyEngine is NewSteadyEngine with an adaptive adversary
+// installed on the delivery pipeline — the regime benchjson gates so a
+// pipeline-refactor regression on the adversary path fails the perf gate
+// like any other.
+func NewAdversarySteadyEngine(n int, seed int64) (*sim.Engine, error) {
+	procs := make([]sim.Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	drift := clock.ConstantDrift{RhoBound: 1e-5}
+	for i := range procs {
+		procs[i] = &beacon{period: 1e-3}
+		clocks[i] = drift.Build(i, n)
+		starts[i] = clock.Real(i) * 1e-4
+	}
+	return sim.New(sim.Config{
+		Procs:     procs,
+		Clocks:    clocks,
+		StartAt:   starts,
+		Delay:     sim.UniformDelay{Delta: 4e-4, Eps: 1e-4},
+		Seed:      seed,
+		Adversary: &benchAdversary{},
+		MaxSteps:  1 << 40,
+	})
+}
+
+// EngineAdversary benchmarks the steady state with the adversary stage
+// active: one op is one delivered event, every copy retimed and every
+// delivery hook-dispatched.
+func EngineAdversary(b *testing.B) {
+	eng, err := NewAdversarySteadyEngine(7, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := runSteps(b, eng, 0, 2000)
+	warm := eng.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runSteps(b, eng, horizon, warm+b.N)
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(eng.Steps()-warm)/s, "events/sec")
+	}
+}
+
 // NewLargeNEngine builds the large-n benchmark system: n maintenance
 // automata (f = (n−1)/3 capacity, no actual faults) on drifting clocks with
 // uniform delays and no observers — the round-structured n²-broadcast

@@ -37,11 +37,11 @@ func TestConformanceMatrix(t *testing.T) {
 		gridPoints = 4
 	}
 	if StressTier() {
-		gridPoints++ // the nightly n=31 row
+		gridPoints += 2 // the nightly n ∈ {31, 63} rows (one aggregated row per cell)
 	}
-	wantRows := len(faults.Strategies()) * gridPoints * 2
+	wantRows := len(faults.ScheduleDriven()) * gridPoints * 2
 	if len(matrix.Rows) != wantRows {
-		t.Errorf("matrix has %d rows, want %d (strategies × grid × delays)", len(matrix.Rows), wantRows)
+		t.Errorf("matrix has %d rows, want %d (schedule-driven strategies × grid × delays)", len(matrix.Rows), wantRows)
 	}
 	for _, row := range matrix.Rows {
 		for _, cell := range row {

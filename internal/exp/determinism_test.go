@@ -28,15 +28,18 @@ func renderExperiment(t *testing.T, id string) string {
 }
 
 // TestSweepDeterminism is the regression test for the parallel sweep
-// runner: E05 (fault sweep, 22 workloads) and E13 (ε/ρ sweep, 9 workloads)
-// must render byte-identical tables when run serially and with 1, 2, and 8
+// runner: E05 (fault sweep, 22 workloads), E13 (ε/ρ sweep, 9 workloads)
+// and E18 (the adaptive-adversary lower-bound search — its skewmax and
+// splitter strategies react to live engine state, so this is also the
+// determinism gate for the delivery pipeline's adversary stage) must
+// render byte-identical tables when run serially and with 1, 2, and 8
 // workers. Worker count may change only wall-clock time, never results.
 func TestSweepDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are integration-sized")
 	}
 	defer runner.SetDefaultWorkers(0)
-	for _, id := range []string{"E05", "E13"} {
+	for _, id := range []string{"E05", "E13", "E18"} {
 		t.Run(id, func(t *testing.T) {
 			// workers=1 takes the runner's strictly serial path and is
 			// the reference rendering.

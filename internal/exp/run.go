@@ -39,6 +39,13 @@ type Workload struct {
 	// processes are marked faulty for all metrics.
 	Faults map[sim.ProcID]func() sim.Process
 
+	// Adversary, when non-nil, is installed on the engine's delivery
+	// pipeline: an adaptive message-timing adversary with an omniscient
+	// read view and a write capability clamped to [δ−ε, δ+ε] (see
+	// sim.Adversary; faults.MixAdaptive builds one together with its
+	// faulty automata). Single-use, like Faults: build a fresh one per run.
+	Adversary sim.Adversary
+
 	// StartOverride replaces the computed START delivery time for specific
 	// processes (e.g. a reintegrating process waking late).
 	StartOverride map[sim.ProcID]clock.Real
@@ -161,6 +168,7 @@ func Run(w Workload) (*Result, error) {
 		Channel:   w.Channel,
 		Faulty:    faulty,
 		Seed:      seed,
+		Adversary: w.Adversary,
 		Scheduler: w.Scheduler,
 		EventHint: w.eventHint(),
 	})

@@ -25,9 +25,32 @@ type Strategy struct {
 	Desc string
 	// Build returns one faulty automaton per member. Defaults inside the
 	// built automata are derived from cfg so strategies scale across the
-	// (n, f) grid; seed parameterizes randomized strategies.
+	// (n, f) grid; seed parameterizes randomized strategies. Nil for
+	// adaptive strategies, which use BuildAdaptive instead.
 	Build func(cfg core.Config, members []sim.ProcID, seed int64) []sim.Process
+	// BuildAdaptive, non-nil for adaptive strategies, builds the faulty
+	// automata (one per member; members may be empty) together with the
+	// network-level adversary installed on the engine's delivery pipeline —
+	// one call, so automata and adversary can share observed state. Exactly
+	// one of Build and BuildAdaptive is set. Adaptive strategies react to
+	// the live execution through the sim.AdversaryView and hooks; their
+	// retiming is clamped to [δ−ε, δ+ε] by the engine, so A1–A3 hold by
+	// construction and the f < n/3 theorems still apply whenever the
+	// member count respects A2.
+	BuildAdaptive func(cfg core.Config, members []sim.ProcID, seed int64) ([]sim.Process, sim.Adversary)
+	// WantsMembers reports whether an adaptive strategy attacks through
+	// faulty automata too (callers pass TopIDs(f, n)) or purely through
+	// delivery retiming (callers pass no members, leaving every process
+	// nonfaulty). Meaningful only when BuildAdaptive is set.
+	WantsMembers bool
 }
+
+// Adaptive reports whether the strategy reacts to the live execution
+// through the delivery pipeline's adversary stage rather than committing to
+// a schedule up front. The conformance matrix (E17) sweeps the
+// schedule-driven strategies; the lower-bound experiment (E18) drives the
+// adaptive ones.
+func (s Strategy) Adaptive() bool { return s.BuildAdaptive != nil }
 
 var (
 	stratMu    sync.Mutex
@@ -39,13 +62,28 @@ var (
 func Register(s Strategy) {
 	stratMu.Lock()
 	defer stratMu.Unlock()
-	if s.Name == "" || s.Build == nil {
-		panic("faults: Register: strategy needs a name and a builder")
+	if s.Name == "" || (s.Build == nil) == (s.BuildAdaptive == nil) {
+		panic("faults: Register: strategy needs a name and exactly one of Build / BuildAdaptive")
 	}
 	if _, dup := strategies[s.Name]; dup {
 		panic("faults: duplicate strategy " + s.Name)
 	}
 	strategies[s.Name] = s
+}
+
+// ScheduleDriven returns the registered non-adaptive strategies sorted by
+// name — the adversary space the E17 conformance matrix sweeps (adaptive
+// strategies are exercised by the lower-bound experiment E18 instead, so
+// registering one does not disturb E17's pinned tables).
+func ScheduleDriven() []Strategy {
+	all := Strategies()
+	out := all[:0]
+	for _, s := range all {
+		if !s.Adaptive() {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Strategies returns every registered strategy sorted by name.
@@ -87,11 +125,33 @@ func TopIDs(count, n int) []sim.ProcID {
 // returned map is one execution's fault set: build a fresh Mix per run
 // rather than reusing one across engines (the instances are stateful).
 func Mix(s Strategy, cfg core.Config, members []sim.ProcID, seed int64) map[sim.ProcID]func() sim.Process {
+	if s.Build == nil {
+		panic("faults: Mix on adaptive strategy " + s.Name + " (use MixAdaptive)")
+	}
 	procs := s.Build(cfg, members, seed)
 	if len(procs) != len(members) {
 		panic(fmt.Sprintf("faults: strategy %s built %d automata for %d members", s.Name, len(procs), len(members)))
 	}
 	return MixProcs(members, procs)
+}
+
+// MixAdaptive is Mix for adaptive strategies: it builds the faulty automata
+// and the network adversary in one call (they may share state) and returns
+// both in harness shape — the map goes to Workload.Faults, the adversary to
+// Workload.Adversary. The same single-use caveat as Mix applies to both
+// halves: build a fresh pair per run.
+func MixAdaptive(s Strategy, cfg core.Config, members []sim.ProcID, seed int64) (map[sim.ProcID]func() sim.Process, sim.Adversary) {
+	if s.BuildAdaptive == nil {
+		panic("faults: MixAdaptive on non-adaptive strategy " + s.Name)
+	}
+	procs, adv := s.BuildAdaptive(cfg, members, seed)
+	if len(procs) != len(members) {
+		panic(fmt.Sprintf("faults: strategy %s built %d automata for %d members", s.Name, len(procs), len(members)))
+	}
+	if adv == nil {
+		panic("faults: adaptive strategy " + s.Name + " built no adversary")
+	}
+	return MixProcs(members, procs), adv
 }
 
 // MixProcs is Mix for pre-built automata (e.g. a clique constructed directly

@@ -15,7 +15,7 @@ func TestStrategyRegistry(t *testing.T) {
 		t.Fatalf("registry has %d strategies, want ≥ 10", len(all))
 	}
 	for i, s := range all {
-		if s.Name == "" || s.Desc == "" || s.Build == nil {
+		if s.Name == "" || s.Desc == "" || (s.Build == nil) == (s.BuildAdaptive == nil) {
 			t.Errorf("strategy %d incomplete: %+v", i, s)
 		}
 		if i > 0 && all[i-1].Name >= s.Name {
@@ -23,12 +23,34 @@ func TestStrategyRegistry(t *testing.T) {
 		}
 	}
 	for _, name := range []string{"silent", "clique", "edge-rider", "drift-max", "flaky-rejoin", "random-timing"} {
-		if _, err := faults.ByName(name); err != nil {
+		s, err := faults.ByName(name)
+		if err != nil {
 			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if s.Adaptive() {
+			t.Errorf("strategy %s misclassified as adaptive", name)
+		}
+	}
+	for _, name := range []string{"skewmax", "splitter"} {
+		s, err := faults.ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+		if !s.Adaptive() {
+			t.Errorf("strategy %s not classified as adaptive", name)
 		}
 	}
 	if _, err := faults.ByName("nope"); err == nil {
 		t.Error("ByName(nope) should fail")
+	}
+	for _, s := range faults.ScheduleDriven() {
+		if s.Adaptive() {
+			t.Errorf("ScheduleDriven returned adaptive strategy %s", s.Name)
+		}
+	}
+	if len(all) != len(faults.ScheduleDriven())+2 {
+		t.Errorf("expected exactly 2 adaptive strategies: %d total, %d schedule-driven",
+			len(all), len(faults.ScheduleDriven()))
 	}
 }
 
@@ -44,20 +66,32 @@ func TestTopIDs(t *testing.T) {
 
 // TestEveryStrategyToleratedBelowBoundary is the paper's central claim in
 // miniature: with f faulty processes running any registered strategy in an
-// n = 3f+1 system, agreement (γ) and every other invariant must hold.
+// n = 3f+1 system, agreement (γ) and every other invariant must hold. The
+// adaptive strategies run through MixAdaptive with the pipeline adversary
+// installed — their retiming is clamped to [δ−ε, δ+ε], so A1–A3 hold by
+// construction and the theorems owe them the same guarantees.
 func TestEveryStrategyToleratedBelowBoundary(t *testing.T) {
 	cfg := cfg7()
 	for _, s := range faults.Strategies() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
-			res, err := exp.Run(exp.Workload{
+			w := exp.Workload{
 				Cfg:             cfg,
 				Rounds:          12,
-				Faults:          faults.Mix(s, cfg, faults.TopIDs(2, cfg.N), 5),
 				Seed:            5,
 				CheckInvariants: true,
-			})
+			}
+			if s.Adaptive() {
+				var members []sim.ProcID
+				if s.WantsMembers {
+					members = faults.TopIDs(2, cfg.N)
+				}
+				w.Faults, w.Adversary = faults.MixAdaptive(s, cfg, members, 5)
+			} else {
+				w.Faults = faults.Mix(s, cfg, faults.TopIDs(2, cfg.N), 5)
+			}
+			res, err := exp.Run(w)
 			if err != nil {
 				t.Fatal(err)
 			}

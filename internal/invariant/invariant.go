@@ -260,6 +260,60 @@ func (m *Monotonicity) Sample(e *sim.Engine, _ bool) {
 	}
 }
 
+// LowerBoundWitness is the bound predicate of the lower-bound experiments —
+// Agreement's mirror image. Where the Theorem 16 checker fails when the
+// nonfaulty spread *exceeds* γ, the witness succeeds when the spread
+// *reaches* a stated fraction of the ε(1−1/n) lower bound
+// (analysis.Params.SkewLowerBound): it records the maximum spread observed
+// after Warmup, and Achieved reports whether the adversary actually drove
+// the execution to Target — the experimental evidence that the bound is
+// sharp rather than slack. It is a plain sampler, attachable through
+// Workload.Observers next to the theorem checkers.
+type LowerBoundWitness struct {
+	// Target is the spread the adversary must reach (the experiment's
+	// fraction of ε(1−1/n)).
+	Target float64
+	// Warmup is the real time after which spreads count (matching the
+	// steady-state window of the agreement bound).
+	Warmup clock.Real
+
+	maxSpread float64
+	samples   int64
+}
+
+var _ sim.Sampler = (*LowerBoundWitness)(nil)
+
+// NewLowerBoundWitness builds the witness for one execution.
+func NewLowerBoundWitness(target float64, warmup clock.Real) *LowerBoundWitness {
+	return &LowerBoundWitness{Target: target, Warmup: warmup}
+}
+
+// Sample implements sim.Sampler.
+func (w *LowerBoundWitness) Sample(e *sim.Engine, _ bool) {
+	t := e.Now()
+	if t < w.Warmup {
+		return
+	}
+	lo, hi, count := e.LocalTimeSpread(t)
+	if count < 2 {
+		return
+	}
+	w.samples++
+	if s := float64(hi - lo); s > w.maxSpread {
+		w.maxSpread = s
+	}
+}
+
+// MaxSpread returns the largest nonfaulty spread observed after Warmup.
+func (w *LowerBoundWitness) MaxSpread() float64 { return w.maxSpread }
+
+// Samples returns how many sample points contributed; a witness that saw
+// nothing proves nothing.
+func (w *LowerBoundWitness) Samples() int64 { return w.samples }
+
+// Achieved reports whether the observed spread reached Target.
+func (w *LowerBoundWitness) Achieved() bool { return w.samples > 0 && w.maxSpread >= w.Target }
+
 // AdjustmentBound checks Theorem 4(a) on the adjustment annotation stream:
 // every nonfaulty ADJ satisfies |ADJ| ≤ Bound.
 type AdjustmentBound struct {

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/clock"
+)
+
+// This file implements the adaptive-adversary seam of the delivery
+// pipeline. The paper's lower bound (ε(1−1/n), shown by a shifting argument
+// in the companion Lundelius–Lynch work and cited in §1) is proved against
+// an adversary that *reacts* to the execution: it watches the system and
+// retimes message deliveries anywhere inside the [δ−ε, δ+ε] uncertainty
+// window that assumption A3 grants the network. The schedule-driven faulty
+// automata in internal/faults cannot express that adversary — they commit
+// to their timing before the run starts — so the engine exposes it
+// directly:
+//
+//   - an Adversary registered in Config gets one Retime pass over every
+//     ordinary message copy, unicast or broadcast fan-out, between delay
+//     sampling and routing;
+//   - the AdversaryController clamps every retimed delay back into the
+//     model's [δ−ε, δ+ε] envelope (NaN falls back to the sampled delay),
+//     so assumptions A1–A3 hold *by construction* no matter what the
+//     adversary returns — the upper-bound theorems keep their hypotheses
+//     and the invariant checkers remain sound;
+//   - the AdversaryView is the omniscient read side: nonfaulty local
+//     clocks, the cached spread scan, pending buffered deliveries, and —
+//     via the ReceiveHook/SendHook interfaces — the observed send and
+//     arrival times of every copy as it moves through the buffer.
+//
+// The controller is engine-owned and inert when no adversary is installed:
+// the pipeline's adversary stage is then a nil comparison and the hook
+// dispatch loops are never entered, which is what keeps the no-adversary
+// steady state allocation-free and byte-identical to the pre-pipeline
+// engine.
+
+// Adversary is an adaptive message-timing adversary: a single Retime pass
+// over each ordinary message copy, between delay sampling and routing.
+// Implementations return the base delay they want for the copy; the
+// controller clamps the result to the delay model's [δ−ε, δ+ε] envelope,
+// so a Retime cannot take an execution outside assumption A3 (returning
+// NaN, ±Inf, or any out-of-envelope value degrades to the nearest legal
+// delay — or the sampled one for NaN).
+//
+// Retime runs on the engine's single event-loop goroutine; implementations
+// may keep per-run state without locking but must not retain the view.
+// Adversaries that also implement ReceiveHook and/or SendHook observe
+// deliveries and sends as they happen.
+type Adversary interface {
+	Retime(v *AdversaryView, from, to ProcID, sentAt clock.Real, base float64) float64
+}
+
+// SendHook observes every ordinary message copy as it enters the global
+// buffer, after the pipeline fixed its delivery time. Copies lost to the
+// channel are not announced (they never enter the buffer).
+type SendHook interface {
+	OnSend(v *AdversaryView, m Message)
+}
+
+// ReceiveHook observes every ordinary message delivery, immediately before
+// the recipient's Receive runs — the adversary-side record of observed
+// arrival times.
+type ReceiveHook interface {
+	OnReceive(v *AdversaryView, m Message)
+}
+
+// AdversaryView is the omniscient read capability granted to a registered
+// adversary: real time, the fault assignment, every process's local clock,
+// the cached nonfaulty spread, and the buffered (pending) deliveries. It is
+// engine-owned and reused across calls; adversaries must not retain it.
+type AdversaryView struct {
+	eng *Engine
+}
+
+// Now returns the current real time.
+func (v *AdversaryView) Now() clock.Real { return v.eng.now }
+
+// N returns the number of processes.
+func (v *AdversaryView) N() int { return len(v.eng.procs) }
+
+// Bounds returns the delay model's (δ, ε) — the envelope every retimed
+// delay is clamped to.
+func (v *AdversaryView) Bounds() (delta, eps float64) { return v.eng.pipe.Delay.Bounds() }
+
+// Faulty reports whether p is marked faulty.
+func (v *AdversaryView) Faulty(p ProcID) bool { return v.eng.faulty[p] }
+
+// NonfaultyIDs returns the cached nonfaulty ids (shared; do not modify).
+func (v *AdversaryView) NonfaultyIDs() []ProcID { return v.eng.nonfaulty }
+
+// LocalTime returns L_p(t); ok is false when p exposes no correction.
+func (v *AdversaryView) LocalTime(p ProcID, t clock.Real) (clock.Local, bool) {
+	return v.eng.LocalTime(p, t)
+}
+
+// LocalTimeSpread returns the minimum and maximum nonfaulty local time at t
+// (served from the engine's per-sample cache when t is the current instant).
+func (v *AdversaryView) LocalTimeSpread(t clock.Real) (lo, hi clock.Local, count int) {
+	return v.eng.LocalTimeSpread(t)
+}
+
+// PendingDeliveries calls fn for every message currently buffered (ordinary,
+// START and TIMER alike) until fn returns false. Iteration order is
+// unspecified — it depends on the scheduler's internal layout — so adaptive
+// strategies that need determinism must reduce what they read to an
+// order-independent quantity (count, min, max, …). The pointer is valid
+// only for the duration of the call; fn must not retain or modify it.
+func (v *AdversaryView) PendingDeliveries(fn func(m *Message) bool) {
+	v.eng.queue.forEachPending(fn)
+}
+
+// AdversaryController is the engine-owned write side of the adversary seam:
+// it holds the registered adversary, its hook capabilities (classified once
+// at construction, like engine observers), the clamp envelope, and the
+// shared view. One controller per engine, built at New when Config.Adversary
+// is set.
+type AdversaryController struct {
+	adv  Adversary
+	send SendHook    // non-nil iff adv observes sends
+	recv ReceiveHook // non-nil iff adv observes deliveries
+	view AdversaryView
+	lo   float64 // δ−ε: earliest legal base delay
+	hi   float64 // δ+ε: latest legal base delay
+}
+
+// newAdversaryController classifies the adversary's capabilities and caches
+// the clamp envelope from the validated delay model.
+func newAdversaryController(e *Engine, adv Adversary, delta, eps float64) *AdversaryController {
+	c := &AdversaryController{adv: adv, lo: delta - eps, hi: delta + eps}
+	c.view.eng = e
+	if h, ok := adv.(SendHook); ok {
+		c.send = h
+	}
+	if h, ok := adv.(ReceiveHook); ok {
+		c.recv = h
+	}
+	return c
+}
+
+// Clamp forces a desired base delay into the [δ−ε, δ+ε] envelope, falling
+// back to the honestly sampled delay for NaN. Exported for tests asserting
+// the clamp contract directly.
+func (c *AdversaryController) Clamp(desired, sampled float64) float64 {
+	if math.IsNaN(desired) {
+		return sampled
+	}
+	if desired < c.lo {
+		return c.lo
+	}
+	if desired > c.hi {
+		return c.hi
+	}
+	return desired
+}
+
+// retime runs the adversary's pass over one copy and clamps the result.
+func (c *AdversaryController) retime(from, to ProcID, sentAt clock.Real, base float64) float64 {
+	return c.Clamp(c.adv.Retime(&c.view, from, to, sentAt, base), base)
+}
+
+// onSend dispatches the send hook, if the adversary has one.
+func (c *AdversaryController) onSend(m Message) {
+	if c.send != nil {
+		c.send.OnSend(&c.view, m)
+	}
+}
+
+// onReceive dispatches the receive hook, if the adversary has one.
+func (c *AdversaryController) onReceive(m Message) {
+	if c.recv != nil {
+		c.recv.OnReceive(&c.view, m)
+	}
+}

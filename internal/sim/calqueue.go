@@ -523,6 +523,29 @@ func (s *sched) pop() event {
 	return ev
 }
 
+// forEachPending calls fn for every buffered message until fn returns
+// false. Iteration order is unspecified (heap layout in heap mode, slab
+// layout in calendar mode — free slab slots are zeroed and skipped by their
+// zero Kind). Read-only view for the adversary seam; never on the hot path.
+func (s *sched) forEachPending(fn func(m *Message) bool) {
+	if s.calOn {
+		for i := range s.slab.msgs {
+			if s.slab.msgs[i].Kind == 0 {
+				continue
+			}
+			if !fn(&s.slab.msgs[i]) {
+				return
+			}
+		}
+		return
+	}
+	for i := range s.heap.items {
+		if !fn(&s.heap.items[i].msg) {
+			return
+		}
+	}
+}
+
 // activate switches to calendar mode, migrating whatever the heap holds.
 // The bucket count scales to about twice the expected population (hint or
 // current size), clamped to a power of two in [256, calMaxBuckets]: a

@@ -26,7 +26,7 @@ type Ether struct {
 	dropped  int64
 }
 
-var _ BatchChannel = (*Ether)(nil)
+var _ Channel = (*Ether)(nil)
 
 // NewEther builds an Ether channel with the given contention window and
 // per-receiver buffer capacity.
@@ -72,15 +72,6 @@ func (e *Ether) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (cl
 	}
 	e.arrivals[to] = q
 	return at, true
-}
-
-// RouteAll implements BatchChannel: one broadcast's copies contend in pid
-// order, evolving the per-receiver arrival bookkeeping exactly as n
-// successive Route calls would.
-func (e *Ether) RouteAll(from ProcID, sentAt clock.Real, base []float64, at []clock.Real, ok []bool) {
-	for q := range base {
-		at[q], ok[q] = e.Route(from, ProcID(q), sentAt, base[q])
-	}
 }
 
 // Dropped returns the number of copies lost to buffer contention.

@@ -17,7 +17,7 @@ type Link struct {
 	From, To ProcID
 }
 
-var _ BatchChannel = LossyLinks{}
+var _ Channel = LossyLinks{}
 
 // NewLossyLinks builds a channel with the given failed directed links. Pass
 // pairs as (from, to); use BreakBothWays for symmetric failures.
@@ -36,22 +36,11 @@ func (c LossyLinks) BreakBothWays(a, b ProcID) LossyLinks {
 	return c
 }
 
-// Route implements Channel.
+// Route implements Channel; the delivery pipeline's RouteStage batches
+// fan-outs over it, so the dead-link probe lives only here.
 func (c LossyLinks) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (clock.Real, bool) {
 	if from != to && c.Dead[Link{From: from, To: to}] {
 		return 0, false
 	}
 	return sentAt + clock.Real(baseDelay), true
-}
-
-// RouteAll implements BatchChannel: one map probe per copy, no interface
-// dispatch per copy.
-func (c LossyLinks) RouteAll(from ProcID, sentAt clock.Real, base []float64, at []clock.Real, ok []bool) {
-	for q := range base {
-		if ProcID(q) != from && c.Dead[Link{From: from, To: ProcID(q)}] {
-			at[q], ok[q] = 0, false
-			continue
-		}
-		at[q], ok[q] = sentAt+clock.Real(base[q]), true
-	}
 }

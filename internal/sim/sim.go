@@ -154,6 +154,11 @@ type Config struct {
 	Channel Channel       // nil means reliable full mesh
 	Faulty  []bool        // which processes count as faulty (metrics only)
 	Seed    int64         // seed for delay sampling
+	// Adversary, when non-nil, is installed on the delivery pipeline's
+	// adversary stage: it gets one clamped Retime pass over every ordinary
+	// message copy and — if it implements SendHook/ReceiveHook — observes
+	// copies entering and leaving the buffer. See adversary.go.
+	Adversary Adversary
 	// MaxSteps bounds the number of delivered messages; 0 means a large
 	// default. Guards against runaway (e.g. adversarial) executions.
 	MaxSteps int
@@ -178,12 +183,14 @@ type Engine struct {
 	faulty    []bool
 	nonfaulty []ProcID     // cached ids of non-faulty processes (fixed at New)
 	corr      []CorrHolder // per-process CorrHolder, asserted once at New (nil if none)
-	delay     DelayModel
-	channel   Channel
-	// Batched broadcast fast paths, type-asserted once at New: nil when the
-	// configured model/channel implements only the per-copy interface.
-	delayBatch BatchDelayModel
-	chanBatch  BatchChannel
+	// pipe is the delivery pipeline every ordinary copy flows through:
+	// DelayStage → AdversaryStage → RouteStage (see pipeline.go). Stage
+	// capabilities (batch fast paths, the full-mesh inline route, adversary
+	// hooks) are classified once here at New.
+	pipe Pipeline
+	// advCtl is the adversary controller backing the pipeline's adversary
+	// stage; nil when no adversary is configured (the common case).
+	advCtl *AdversaryController
 	// Reusable per-broadcast buffers (length n), so a batched broadcast
 	// performs no allocation.
 	bcastDelay []float64
@@ -270,22 +277,19 @@ func New(cfg Config) (*Engine, error) {
 		procs:    cfg.Procs,
 		clocks:   cfg.Clocks,
 		faulty:   faulty,
-		delay:    delay,
-		channel:  ch,
 		seed:     cfg.Seed,
 		rng:      NewRNG(cfg.Seed),
 		prand:    make([]*rand.Rand, n),
 		maxSteps: maxSteps,
 	}
 	e.ctx.eng = e
-	// Classify the batched fast paths once; nil means fall back to the
-	// per-copy Sample/Route loop (same draws, same order).
-	if bd, ok := delay.(BatchDelayModel); ok {
-		e.delayBatch = bd
+	// Assemble the delivery pipeline, classifying each stage's capabilities
+	// (batch fast paths, the full-mesh inline route, adversary hooks) once.
+	if cfg.Adversary != nil {
+		d, eps := delay.Bounds()
+		e.advCtl = newAdversaryController(e, cfg.Adversary, d, eps)
 	}
-	if bc, ok := ch.(BatchChannel); ok {
-		e.chanBatch = bc
-	}
+	e.pipe = newPipeline(delay, ch, e.advCtl)
 	e.bcastDelay = make([]float64, n)
 	e.bcastAt = make([]clock.Real, n)
 	e.bcastOK = make([]bool, n)
@@ -426,6 +430,14 @@ func (e *Engine) LocalTimeSpread(t clock.Real) (lo, hi clock.Local, count int) {
 // Process returns the automaton of p (used by tests and metrics).
 func (e *Engine) Process(p ProcID) Process { return e.procs[p] }
 
+// Pipeline returns the engine's delivery pipeline (used by tests asserting
+// stage classification).
+func (e *Engine) Pipeline() *Pipeline { return &e.pipe }
+
+// Adversary returns the engine's adversary controller, nil when no
+// adversary is installed.
+func (e *Engine) Adversary() *AdversaryController { return e.advCtl }
+
 // Run processes events in delivery order until the queue empties, real time
 // would exceed until, or the step limit is hit (an error). It may be called
 // repeatedly with increasing horizons.
@@ -459,6 +471,11 @@ func (e *Engine) Run(until clock.Real) error {
 		for _, d := range e.delivery {
 			d.OnDeliver(e, m)
 		}
+		if e.advCtl != nil && m.Kind == KindOrdinary {
+			// The adversary's observed-arrival record: every ordinary
+			// delivery, announced immediately before the recipient acts.
+			e.advCtl.onReceive(m)
+		}
 		e.ctx.pid = m.To
 		e.procs[m.To].Receive(&e.ctx, m)
 		e.spreadOK = false // the delivery may have changed a correction
@@ -486,32 +503,19 @@ func (e *Engine) annotate(p ProcID, tag string, v float64) {
 }
 
 // Broadcast schedules one ordinary message copy from p to every process,
-// including itself, as a single batched fan-out: delays for all n copies are
-// sampled in one call (in fixed pid order, drawing exactly the stream the
-// per-copy path would), the channel routes them in one RouteAll, and the
-// copies enter the queue in one pass — in calendar mode an amortized O(n)
-// for the whole round instead of n separate O(log m) heap sifts. The
-// payload is shared across copies, and the per-copy (DeliverAt, seq) order
-// is identical to n successive Send calls, so executions are byte-for-byte
-// unchanged.
+// including itself, as a single batched fan-out through the delivery
+// pipeline: delays for all n copies are sampled in one call (in fixed pid
+// order, drawing exactly the stream the per-copy path would), the adversary
+// stage — when installed — retimes each copy inside its clamp envelope, the
+// route stage maps them to delivery times in one pass, and the copies enter
+// the queue in one pass — in calendar mode an amortized O(n) for the whole
+// round instead of n separate O(log m) heap sifts. The payload is shared
+// across copies, and the per-copy (DeliverAt, seq) order is identical to n
+// successive Send calls, so executions are byte-for-byte unchanged.
 func (e *Engine) Broadcast(from ProcID, payload any) {
 	n := len(e.procs)
-	base := e.bcastDelay[:n]
-	if e.delayBatch != nil {
-		e.delayBatch.SampleAll(from, n, e.now, &e.rng, base)
-	} else {
-		for q := 0; q < n; q++ {
-			base[q] = e.delay.Sample(from, ProcID(q), e.now, &e.rng)
-		}
-	}
-	at, ok := e.bcastAt[:n], e.bcastOK[:n]
-	if e.chanBatch != nil {
-		e.chanBatch.RouteAll(from, e.now, base, at, ok)
-	} else {
-		for q := 0; q < n; q++ {
-			at[q], ok[q] = e.channel.Route(from, ProcID(q), e.now, base[q])
-		}
-	}
+	base, at, ok := e.bcastDelay[:n], e.bcastAt[:n], e.bcastOK[:n]
+	e.pipe.broadcast(from, n, e.now, &e.rng, base, at, ok)
 	// One template event, patched per receiver: the 64-byte struct and its
 	// write-barriered Payload words are built once and copied exactly once
 	// per copy — into the queue slot — instead of being reassembled and
@@ -528,19 +532,25 @@ func (e *Engine) Broadcast(from ProcID, payload any) {
 		ev.seq = e.seq
 		e.seq++
 		e.queue.push(&ev)
+		if e.advCtl != nil {
+			e.advCtl.onSend(ev.msg)
+		}
 	}
 }
 
-// send schedules one ordinary message copy.
+// send schedules one ordinary message copy through the delivery pipeline.
 func (e *Engine) send(from, to ProcID, payload any) {
-	base := e.delay.Sample(from, to, e.now, &e.rng)
-	at, ok := e.channel.Route(from, to, e.now, base)
+	at, ok := e.pipe.unicast(from, to, e.now, &e.rng)
 	if !ok {
 		e.msgsLost++
 		return
 	}
 	e.msgsSent++
-	e.push(Message{From: from, To: to, Kind: KindOrdinary, Payload: payload, SentAt: e.now, DeliverAt: at})
+	m := Message{From: from, To: to, Kind: KindOrdinary, Payload: payload, SentAt: e.now, DeliverAt: at}
+	e.push(m)
+	if e.advCtl != nil {
+		e.advCtl.onSend(m)
+	}
 }
 
 // setTimer places a TIMER for process p at physical-clock time T, i.e. real

@@ -67,6 +67,7 @@ type options struct {
 	deriveBeta    bool
 	traceLimit    int
 	faults        map[int]FaultKind
+	adversary     string
 	rejoinID      int
 	rejoinWake    float64
 	rejoinCorr    float64
@@ -168,6 +169,16 @@ func WithFault(id int, kind FaultKind) Option {
 		o.faults[id] = kind
 	}
 }
+
+// WithAdversary installs a registered adversary strategy by name (see
+// internal/faults: faults.Strategies lists them, cmd/wlsim -adversary-list
+// prints them). Schedule-driven strategies make the top f processes faulty
+// with the strategy's automata; adaptive strategies additionally (or, for
+// pure retimers such as "skewmax", exclusively) install the strategy's
+// network adversary on the engine's delivery pipeline, where its retiming
+// is clamped to [δ−ε, δ+ε]. Mutually exclusive with WithFault and
+// WithRejoiner (the strategy mix owns the fault slots).
+func WithAdversary(name string) Option { return func(o *options) { o.adversary = name } }
 
 // WithRejoiner replaces process id with a §9.1 reintegrating process that
 // wakes at real time wakeAt with its clock off by initialCorr seconds. It
