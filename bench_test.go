@@ -177,16 +177,24 @@ func BenchmarkEngineThroughput(b *testing.B) {
 }
 
 // BenchmarkLargeN measures the round-structured broadcast regime the
-// calendar queue targets: 10 maintenance rounds of an n-process full mesh
-// (≈ n² messages per round inside one delay window) with no observers, so
-// queue and automaton work dominate. The default scheduler (calendar at
-// these sizes) is the number that matters; the heap sub-benchmarks are the
-// 4-ary-heap-only baseline it is measured against.
+// calendar queue and lazy materialization target: 10 maintenance rounds of
+// an n-process full mesh (≈ n² messages per round inside one delay window)
+// with no observers, so queue and automaton work dominate. The default
+// configuration (calendar scheduler, lazy broadcasts at these sizes) is the
+// number that matters; the -heap and -eager sub-benchmarks force the 4-ary
+// heap and eager materialization as baselines, and the peak-queue-events
+// metric exposes the O(n²) → O(n) population drop directly. The sharded
+// sub-benchmarks run the same workload across k worker shards
+// (time-window synchronization at lookahead δ−ε).
 func BenchmarkLargeN(b *testing.B) {
-	b.Run("n=31", bench.LargeN(31, sim.SchedulerAuto))
-	b.Run("n=101", bench.LargeN(101, sim.SchedulerAuto))
-	b.Run("n=31-heap", bench.LargeN(31, sim.SchedulerHeap))
-	b.Run("n=101-heap", bench.LargeN(101, sim.SchedulerHeap))
+	b.Run("n=31", bench.LargeN(31, sim.SchedulerAuto, sim.BroadcastAuto))
+	b.Run("n=101", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastAuto))
+	b.Run("n=1009", bench.LargeN(1009, sim.SchedulerAuto, sim.BroadcastAuto))
+	b.Run("n=31-heap", bench.LargeN(31, sim.SchedulerHeap, sim.BroadcastAuto))
+	b.Run("n=101-heap", bench.LargeN(101, sim.SchedulerHeap, sim.BroadcastAuto))
+	b.Run("n=101-eager", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastEager))
+	b.Run("n=1009-eager", bench.LargeN(1009, sim.SchedulerAuto, sim.BroadcastEager))
+	b.Run("n=1009-sharded-k=8", bench.LargeNSharded(1009, 8))
 }
 
 // BenchmarkApproxAgreementRound measures one synchronous approximate

@@ -35,6 +35,10 @@ type result struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	// PeakQueueEvents is the event queue's population high-water mark — the
+	// memory story of lazy broadcast materialization (≈ n² eager, O(n)
+	// lazy), deterministic per benchmark and tracked like the time metrics.
+	PeakQueueEvents float64 `json:"peak_queue_events,omitempty"`
 }
 
 type report struct {
@@ -64,14 +68,21 @@ func main() {
 		// The large-n broadcast regime: the calendar scheduler (auto) next
 		// to its 4-ary-heap-only baseline at each size, so the committed
 		// file records both the absolute throughput and the speedup.
-		{"LargeN/n=31", bench.LargeN(31, sim.SchedulerAuto)},
-		{"LargeN/n=31-heap", bench.LargeN(31, sim.SchedulerHeap)},
-		{"LargeN/n=101", bench.LargeN(101, sim.SchedulerAuto)},
-		{"LargeN/n=101-heap", bench.LargeN(101, sim.SchedulerHeap)},
+		{"LargeN/n=31", bench.LargeN(31, sim.SchedulerAuto, sim.BroadcastAuto)},
+		{"LargeN/n=31-heap", bench.LargeN(31, sim.SchedulerHeap, sim.BroadcastAuto)},
+		{"LargeN/n=101", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastAuto)},
+		{"LargeN/n=101-heap", bench.LargeN(101, sim.SchedulerHeap, sim.BroadcastAuto)},
+		// Eager materialization as baseline: same event sequence, O(n²)
+		// queue population — peak_queue_events records the gap.
+		{"LargeN/n=101-eager", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastEager)},
+		// The "n in the thousands" tier the lazy+sharded work exists for;
+		// the nightly gate watches these entries like any other.
+		{"LargeN/n=1009", bench.LargeN(1009, sim.SchedulerAuto, sim.BroadcastAuto)},
+		{"LargeN/n=1009-sharded-k=8", bench.LargeNSharded(1009, 8)},
 	}
 
 	rep := report{
-		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state); LargeN is 10 maintenance rounds of an n-process broadcast mesh, with -heap forcing the pre-calendar scheduler as baseline",
+		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state); LargeN is 10 maintenance rounds of an n-process broadcast mesh, with -heap forcing the pre-calendar scheduler and -eager forcing eager broadcast materialization as baselines; peak_queue_events is the queue population high-water mark (≈ n² eager, O(n) lazy); -sharded-k runs the mesh across k time-window shards",
 	}
 	for _, bm := range benchmarks {
 		// Best of -count runs: shared/virtualized machines steal CPU in
@@ -81,13 +92,14 @@ func main() {
 		for i := 0; i < *count; i++ {
 			r := testing.Benchmark(bm.fn)
 			cur := result{
-				Name:         bm.name,
-				Ops:          r.N,
-				NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-				AllocsPerOp:  float64(r.MemAllocs) / float64(r.N),
-				BytesPerOp:   float64(r.MemBytes) / float64(r.N),
-				EventsPerSec: r.Extra["events/sec"],
-				EventsPerOp:  r.Extra["events/op"],
+				Name:            bm.name,
+				Ops:             r.N,
+				NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp:     float64(r.MemAllocs) / float64(r.N),
+				BytesPerOp:      float64(r.MemBytes) / float64(r.N),
+				EventsPerSec:    r.Extra["events/sec"],
+				EventsPerOp:     r.Extra["events/op"],
+				PeakQueueEvents: r.Extra["peak-queue-events"],
 			}
 			if i == 0 || cur.EventsPerSec > best.EventsPerSec {
 				best = cur

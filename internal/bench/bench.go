@@ -170,17 +170,15 @@ func EngineAdversary(b *testing.B) {
 	}
 }
 
-// NewLargeNEngine builds the large-n benchmark system: n maintenance
+// largeNWorkload assembles the large-n benchmark system: n maintenance
 // automata (f = (n−1)/3 capacity, no actual faults) on drifting clocks with
 // uniform delays and no observers — the round-structured n²-broadcast
-// regime the calendar queue exists for, with nothing but engine and
-// automaton work on the clock. The scheduler knob selects the queue
-// implementation (heap baseline vs calendar); every choice delivers the
-// identical event sequence.
-func NewLargeNEngine(n int, seed int64, s sim.Scheduler) (*sim.Engine, core.Config, clock.Real, error) {
+// regime the calendar queue and lazy materialization exist for, with
+// nothing but engine and automaton work on the clock.
+func largeNWorkload(n int, seed int64) (sim.Config, core.Config, clock.Real, error) {
 	cfg := core.Config{Params: analysis.Default(n, (n-1)/3)}
 	if err := cfg.Validate(); err != nil {
-		return nil, cfg, 0, err
+		return sim.Config{}, cfg, 0, err
 	}
 	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
 	clocks := make([]clock.Clock, n)
@@ -199,16 +197,29 @@ func NewLargeNEngine(n int, seed int64, s sim.Scheduler) (*sim.Engine, core.Conf
 			tmax0 = s
 		}
 	}
-	eng, err := sim.New(sim.Config{
-		Procs:     procs,
-		Clocks:    clocks,
-		StartAt:   starts,
-		Delay:     sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
-		Seed:      seed,
-		Scheduler: s,
-		EventHint: n*n + 2*n + 8,
-		MaxSteps:  1 << 40,
-	})
+	return sim.Config{
+		Procs:    procs,
+		Clocks:   clocks,
+		StartAt:  starts,
+		Delay:    sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:     seed,
+		MaxSteps: 1 << 40,
+	}, cfg, tmax0, nil
+}
+
+// NewLargeNEngine builds the large-n benchmark engine. The scheduler knob
+// selects the queue implementation (heap baseline vs calendar) and the
+// broadcast knob the materialization strategy (eager baseline vs lazy);
+// every combination delivers the identical event sequence.
+func NewLargeNEngine(n int, seed int64, s sim.Scheduler, m sim.BroadcastMode) (*sim.Engine, core.Config, clock.Real, error) {
+	scfg, cfg, tmax0, err := largeNWorkload(n, seed)
+	if err != nil {
+		return nil, cfg, 0, err
+	}
+	scfg.Scheduler = s
+	scfg.Broadcast = m
+	scfg.EventHint = sim.DefaultEventHint(m, n)
+	eng, err := sim.New(scfg)
 	return eng, cfg, tmax0, err
 }
 
@@ -216,15 +227,17 @@ func NewLargeNEngine(n int, seed int64, s sim.Scheduler) (*sim.Engine, core.Conf
 const largeNRounds = 10
 
 // LargeN returns a benchmark running largeNRounds maintenance rounds of an
-// n-process system per op under the given scheduler; events/sec is the
-// headline metric (one round delivers ≈ n² messages inside one delay
-// window).
-func LargeN(n int, s sim.Scheduler) func(*testing.B) {
+// n-process system per op under the given scheduler and broadcast mode;
+// events/sec is the headline metric (one round delivers ≈ n² messages
+// inside one delay window) and peak-queue-events the memory one: the
+// queue's population high-water mark, ≈ n² eager and O(n) lazy.
+func LargeN(n int, s sim.Scheduler, m sim.BroadcastMode) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		var events float64
+		peak := 0
 		for i := 0; i < b.N; i++ {
-			eng, cfg, tmax0, err := NewLargeNEngine(n, 1, s)
+			eng, cfg, tmax0, err := NewLargeNEngine(n, 1, s, m)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -236,9 +249,55 @@ func LargeN(n int, s sim.Scheduler) func(*testing.B) {
 				b.Fatalf("only %d rounds simulated", r)
 			}
 			events += float64(eng.Steps())
+			peak = eng.QueuePeak() // deterministic: identical every op
 		}
 		b.StopTimer()
 		b.ReportMetric(events/float64(b.N), "events/op")
+		b.ReportMetric(float64(peak), "peak-queue-events")
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(events/s, "events/sec")
+		}
+	}
+}
+
+// NewLargeNShardedEngine builds the LargeN workload partitioned across k
+// shards with conservative time-window synchronization (lookahead δ−ε).
+func NewLargeNShardedEngine(n int, seed int64, k int) (*sim.ShardedEngine, core.Config, clock.Real, error) {
+	scfg, cfg, tmax0, err := largeNWorkload(n, seed)
+	if err != nil {
+		return nil, cfg, 0, err
+	}
+	se, err := sim.NewSharded(scfg, k)
+	return se, cfg, tmax0, err
+}
+
+// LargeNSharded returns a benchmark running the LargeN workload across k
+// shards; events/sec measures the parallel window-drain throughput against
+// the sequential LargeN numbers, peak-queue-events the largest per-shard
+// population.
+func LargeNSharded(n, k int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events float64
+		peak := 0
+		for i := 0; i < b.N; i++ {
+			se, cfg, tmax0, err := NewLargeNShardedEngine(n, 1, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			horizon := tmax0 + clock.Real(largeNRounds*cfg.P*(1+2*cfg.Rho)+2*cfg.Window()+cfg.Delta+1)
+			if err := se.Run(horizon); err != nil {
+				b.Fatal(err)
+			}
+			if r := se.Shard(0).Process(0).(*core.Proc).Round(); r < largeNRounds {
+				b.Fatalf("only %d rounds simulated", r)
+			}
+			events += float64(se.Steps())
+			peak = se.QueuePeak()
+		}
+		b.StopTimer()
+		b.ReportMetric(events/float64(b.N), "events/op")
+		b.ReportMetric(float64(peak), "peak-queue-events")
 		if s := b.Elapsed().Seconds(); s > 0 {
 			b.ReportMetric(events/s, "events/sec")
 		}

@@ -2,16 +2,11 @@ package bench
 
 import "testing"
 
-// TestEngineSteadyStateAllocs is the allocation regression gate (wired into
-// CI): after warm-up, the no-observer event loop must run allocation-free —
-// queue slots are recycled from the free list, the Context is reused, delay
-// sampling is inline, and observer fan-outs are empty. It measures the same
-// engine configuration BenchmarkEngineThroughput/steady reports, via the
-// same NewSteadyEngine/Advance harness, so the gate guards exactly the
-// benchmarked regime. Each measured Run slice delivers thousands of events;
-// even ≤ 2 allocations per slice is effectively zero per event.
-func TestEngineSteadyStateAllocs(t *testing.T) {
-	eng, err := NewSteadyEngine(7, 1)
+// steadyAllocGate runs the shared allocation gate against one steady-state
+// engine: after warm-up, measured Run slices must stay allocation-free.
+func steadyAllocGate(t *testing.T, n int) {
+	t.Helper()
+	eng, err := NewSteadyEngine(n, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,4 +32,31 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	if delivered < perSlice {
 		t.Fatalf("gate workload delivered only ~%d events per slice; not a meaningful measurement", delivered)
 	}
+}
+
+// TestEngineSteadyStateAllocs is the allocation regression gate (wired into
+// CI): after warm-up, the no-observer event loop must run allocation-free —
+// queue slots are recycled from the free list, the Context is reused, delay
+// sampling is inline, and observer fan-outs are empty. It measures the same
+// engine configuration BenchmarkEngineThroughput/steady reports, via the
+// same NewSteadyEngine/Advance harness, so the gate guards exactly the
+// benchmarked regime. Each measured Run slice delivers thousands of events;
+// even ≤ 2 allocations per slice is effectively zero per event.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	steadyAllocGate(t, 7) // n = 7: eager broadcasts, heap scheduler
+}
+
+// TestEngineLazySteadyStateAllocs is the same gate over the lazy broadcast
+// path: at n = 40 BroadcastAuto resolves to lazy, so every fan-out runs the
+// record/head machinery — record recycling, head re-push on pop, copy-slice
+// reuse — which must be as allocation-free as the eager loop it replaced.
+func TestEngineLazySteadyStateAllocs(t *testing.T) {
+	eng, err := NewSteadyEngine(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.LazyBroadcast() {
+		t.Fatal("n=40 engine did not resolve to lazy broadcasts; the gate would re-test the eager path")
+	}
+	steadyAllocGate(t, 40)
 }

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/exp/runner"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E19",
+		Title:    "Large-n scaling on the sharded time-window engine",
+		PaperRef: "§4 (n² messages per round); A3 (δ−ε lookahead)",
+		Run:      runE19,
+	})
+}
+
+// e19Rounds keeps E19 runs short: the experiment measures scaling shape and
+// shard-count determinism, not long-horizon convergence (E09 owns that).
+const e19Rounds = 4
+
+// e19ShardCounts is the partition sweep every system size runs under. The
+// k = 1/2/8 agreement of every measured column — pinned by the golden table
+// and re-checked in-experiment — is the determinism oracle for the sharded
+// engine: a window-synchronization or sequencing bug shows up as a det=FAIL
+// row, not as a silent perturbation.
+var e19ShardCounts = []int{1, 2, 8}
+
+// runE19 grows the conformance story to "n in the thousands": the paper's
+// algorithm on the real engine at n = 101 … 4001, partitioned across
+// shards with conservative time-window synchronization at lookahead δ−ε
+// (sim.NewSharded). Every row reports deterministic quantities — windows
+// run, events delivered, copies sent, worst post-warmup skew at window cuts
+// — so the table doubles as a byte-exact oracle that executions are
+// independent of the shard count. The flat all-to-all message growth
+// (msgs ∝ n² per round) recorded here is the measured baseline any future
+// hierarchical variant has to beat.
+func runE19() ([]*Table, error) {
+	t := &Table{
+		ID:       "E19",
+		Title:    "Sharded time-window engine: flat all-to-all scaling baseline",
+		PaperRef: "§4; A3",
+		Columns:  []string{"n", "shards", "windows", "events", "msgs", "worst skew", "γ bound", "skew ≤ γ", "det"},
+	}
+	ns := []int{101, 251}
+	if BigSweeps() {
+		ns = append(ns, 1009)
+	}
+	if StressTier() {
+		ns = append(ns, 4001)
+	}
+	for _, n := range ns {
+		var base *e19Run
+		for _, k := range e19ShardCounts {
+			r, err := e19Trial(n, k)
+			if err != nil {
+				return nil, fmt.Errorf("E19 n=%d shards=%d: %w", n, k, err)
+			}
+			det := true
+			if base == nil {
+				base = r
+			} else {
+				det = *r == *base
+				if !det {
+					return nil, fmt.Errorf("E19 n=%d: shards=%d diverged from shards=1: %+v vs %+v", n, k, *r, *base)
+				}
+			}
+			gamma := r.gamma
+			t.AddRow(fmtInt(n), fmtInt(k), fmtInt(r.windows), fmtInt(r.events),
+				fmtInt(int(r.msgs)), FmtDur(r.maxSkew), FmtDur(gamma),
+				Verdict(r.maxSkew <= gamma), Verdict(det))
+		}
+	}
+	t.AddNote("lookahead L = δ−ε; every shard drains one [t, t+L) window in parallel, cross-shard copies exchange at the barrier")
+	t.AddNote("worst skew is sampled at window cuts after %d warmup rounds (scaling oracle, not the piecewise-exact conformance measurement of E09)", e19Rounds/2)
+	t.AddNote("msgs grows ∝ n² per round — the flat baseline a hierarchical topology would need to beat")
+	return []*Table{t}, nil
+}
+
+// e19Run is one trial's deterministic digest; runs at different shard
+// counts must produce identical values (compared as a whole struct).
+type e19Run struct {
+	windows int
+	events  int
+	msgs    int64
+	maxSkew float64
+	gamma   float64
+}
+
+// e19Trial runs the paper's algorithm at system size n across k shards.
+func e19Trial(n, k int) (*e19Run, error) {
+	cfg := core.Config{Params: analysis.Default(n, 0)}
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	for i := range clocks {
+		clocks[i] = drift.Build(i, n)
+	}
+	corrs := core.InitialCorrsWithinBeta(cfg, clocks, 0.9*cfg.Beta)
+	starts := core.StartTimes(cfg, clocks, corrs)
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		procs[i] = core.NewProc(cfg, corrs[i])
+	}
+	maxStart := starts[0]
+	for _, s := range starts {
+		if s > maxStart {
+			maxStart = s
+		}
+	}
+
+	se, err := sim.NewSharded(sim.Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   sim.UniformDelay{Delta: cfg.Delta, Eps: cfg.Eps},
+		Seed:    runner.DeriveSeed(19, n),
+		// ~(rounds+2) all-to-all exchanges plus per-process timers, with slack.
+		MaxSteps: (e19Rounds + 4) * (n*n + 4*n),
+	}, k)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &e19Run{gamma: cfg.Gamma()}
+	warm := maxStart + clock.Real(float64(e19Rounds/2)*cfg.P)
+	se.OnWindow = func(se *sim.ShardedEngine, cut clock.Real) {
+		if cut < warm {
+			return
+		}
+		lo, hi, count := se.LocalTimeSpread(cut)
+		if count > 0 && float64(hi-lo) > r.maxSkew {
+			r.maxSkew = float64(hi - lo)
+		}
+	}
+	horizon := maxStart + clock.Real(float64(e19Rounds)*cfg.P*(1+2*cfg.Rho)+2*cfg.Window()+cfg.Delta+1)
+	if err := se.Run(horizon); err != nil {
+		return nil, err
+	}
+	lo, hi, count := se.LocalTimeSpread(horizon)
+	if count > 0 && float64(hi-lo) > r.maxSkew {
+		r.maxSkew = float64(hi - lo)
+	}
+	if math.IsNaN(r.maxSkew) {
+		return nil, fmt.Errorf("skew is NaN")
+	}
+	r.windows = se.Windows()
+	r.events = se.Steps()
+	r.msgs = se.MessagesSent()
+	return r, nil
+}

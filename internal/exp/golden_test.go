@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 var (
@@ -74,4 +76,54 @@ func TestGoldenTables(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGoldenTablesLazyBroadcast is the eager-vs-lazy differential at full
+// experiment scale: it replays every workload-driven experiment with the
+// broadcast mode forced to lazy — including the small-n experiments that
+// auto-resolve to eager — and demands the same golden bytes. Together with
+// TestGoldenTables (auto mode) this pins both materialization strategies to
+// one delivery sequence across the whole suite.
+func TestGoldenTablesLazyBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-sized")
+	}
+	if *updateGolden {
+		t.Skip("goldens are written by TestGoldenTables in auto mode")
+	}
+	SetBroadcastOverride(sim.BroadcastLazy)
+	defer ClearBroadcastOverride()
+	// The non-parallel wrapper keeps the override in force until every
+	// parallel subtest has finished.
+	t.Run("forced-lazy", func(t *testing.T) {
+		for _, e := range All() {
+			if e.ID == "E19" {
+				// E19 drives sim.NewSharded directly, not the Workload
+				// harness; the override cannot affect it.
+				continue
+			}
+			e := e
+			t.Run(e.ID, func(t *testing.T) {
+				t.Parallel()
+				tables, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				for _, tbl := range tables {
+					tbl.Render(&buf)
+					tbl.Markdown(&buf)
+				}
+				path := filepath.Join("testdata", "golden", e.ID+".golden")
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("%s under forced lazy broadcast differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+						e.ID, path, buf.Bytes(), want)
+				}
+			})
+		}
+	})
 }

@@ -73,19 +73,44 @@ type Workload struct {
 	// identical event sequence, the knob only exists so the large-n
 	// benchmarks can measure the calendar queue against the heap baseline.
 	Scheduler sim.Scheduler
+
+	// Broadcast selects the engine's broadcast materialization mode. Leave
+	// zero (auto: lazy for n ≥ 32) outside differential tests — both modes
+	// deliver the identical event sequence (see sim.BroadcastMode).
+	Broadcast sim.BroadcastMode
+}
+
+// broadcastMode resolves the workload's effective mode, honoring the test
+// harness's global override (SetBroadcastOverride).
+func (w Workload) broadcastMode() sim.BroadcastMode {
+	if o := broadcastOverride.Load(); o >= 0 {
+		return sim.BroadcastMode(o)
+	}
+	return w.Broadcast
 }
 
 // eventHint estimates the peak number of buffered events for a maintenance
-// workload: each of the K exchanges per round keeps ≈ n² broadcast copies
-// in flight at once plus a timer per process, and with §9.3 staggering or
-// rejoin schedules a previous exchange's stragglers can overlap the next.
-// The hint pre-sizes the engine's queue stores so n²-sized rounds never pay
-// growth-doubling copies mid-run (see sim.Config.EventHint).
+// workload under the resolved broadcast mode. Eager: each of the K
+// exchanges per round keeps ≈ n² broadcast copies in flight at once plus a
+// timer per process, and with §9.3 staggering or rejoin schedules a
+// previous exchange's stragglers can overlap the next. Lazy: a fan-out
+// occupies one queue slot however many copies remain, so the population is
+// O(n) per exchange — passing the old n² figure would grossly over-size
+// the calendar and force it on workloads the heap serves better. The hint
+// pre-sizes the engine's queue stores so rounds never pay growth-doubling
+// copies mid-run (see sim.Config.EventHint).
 func (w Workload) eventHint() int {
 	n := w.Cfg.N
 	k := w.Cfg.K
 	if k < 1 {
 		k = 1
+	}
+	if w.broadcastMode().Resolve(n) == sim.BroadcastLazy {
+		hint := sim.DefaultEventHint(sim.BroadcastLazy, n)
+		if k > 1 {
+			hint += (k - 1) * n
+		}
+		return hint
 	}
 	hint := n*n + 2*n + 8
 	if k > 1 {
@@ -170,6 +195,7 @@ func Run(w Workload) (*Result, error) {
 		Seed:      seed,
 		Adversary: w.Adversary,
 		Scheduler: w.Scheduler,
+		Broadcast: w.broadcastMode(),
 		EventHint: w.eventHint(),
 	})
 	if err != nil {

@@ -1,6 +1,10 @@
 package exp
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
 
 // bigSweepsOn gates the large parameter points of the sweep experiments
 // (E05 beyond f = 4, E09 beyond n = 31, the E17 conformance grid's largest
@@ -28,3 +32,17 @@ func SetStressTier(on bool) { stressTierOn.Store(on) }
 
 // StressTier reports whether the nightly stress rows are enabled.
 func StressTier() bool { return stressTierOn.Load() }
+
+// broadcastOverride, when ≥ 0, forces every workload's broadcast
+// materialization mode regardless of Workload.Broadcast. The golden
+// equivalence test uses it to replay the full experiment suite under forced
+// lazy materialization and demand byte-identical tables.
+var broadcastOverride atomic.Int32
+
+func init() { broadcastOverride.Store(-1) }
+
+// SetBroadcastOverride forces mode on every subsequent Run.
+func SetBroadcastOverride(m sim.BroadcastMode) { broadcastOverride.Store(int32(m)) }
+
+// ClearBroadcastOverride restores per-workload broadcast mode selection.
+func ClearBroadcastOverride() { broadcastOverride.Store(-1) }

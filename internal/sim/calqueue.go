@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 	"os"
@@ -100,6 +101,93 @@ const (
 // sequence bits so that at equal delivery times non-TIMER messages order
 // first and insertion order breaks the remaining ties — exactly eventLess.
 const entryTimerBit = uint64(1) << 63
+
+// bcopy is one unmaterialized copy of a lazy broadcast: its delivery time,
+// its recipient, and its tie-break rank. In counter-sequence mode the rank is
+// the copy's offset from the record's base sequence number (the position the
+// copy holds among the broadcast's delivered copies, in pid order — exactly
+// the sequence number the eager path would have assigned); in deterministic-
+// sequence mode (sharded execution) it is the recipient pid, which the
+// packed key ORs into its low bits.
+type bcopy struct {
+	at   float64 // Message.DeliverAt
+	pid  int32
+	rank int32
+}
+
+// bcastRec is one logical broadcast whose copies have not all been delivered
+// yet. The queue holds only the record's head — the earliest unmaterialized
+// copy, in the record's (at, rank) order — and popping the head pushes the
+// next one, so a broadcast contributes exactly one queue entry however many
+// copies remain. Copies are fully determined at broadcast time (the delivery
+// pipeline runs eagerly — see Engine.Broadcast), so materialization is pure
+// Message assembly: no RNG draw, no channel state, no pipeline stage runs at
+// pop time, which is what keeps lazy executions byte-identical to eager ones.
+type bcastRec struct {
+	copies  []bcopy
+	next    int32 // copies[next:] are unmaterialized; copies[next] is the head
+	det     bool  // deterministic (packed) sequence numbers: seq = seqBase | pid
+	from    ProcID
+	seqBase uint64
+	sentAt  clock.Real
+	payload any
+}
+
+// seqAt returns the sequence number of one copy (see bcopy on rank).
+func (r *bcastRec) seqAt(c bcopy) uint64 {
+	if r.det {
+		return r.seqBase | uint64(c.rank)
+	}
+	return r.seqBase + uint64(c.rank)
+}
+
+// bcastChunk is the cross-shard transfer form of a lazy broadcast: the
+// per-destination-shard slice of a fan-out, built by the sending shard at
+// broadcast time and adopted into the destination's record store at the next
+// window barrier. Copies are already sorted by (at, rank).
+type bcastChunk struct {
+	copies  []bcopy
+	det     bool
+	from    ProcID
+	seqBase uint64
+	sentAt  clock.Real
+	payload any
+}
+
+// bcastStore holds the live broadcast records. Records are recycled through
+// a free stack, and a recycled record keeps its copies capacity, so the
+// steady state allocates nothing per broadcast.
+type bcastStore struct {
+	recs []bcastRec
+	free []int32
+}
+
+func (st *bcastStore) alloc() int32 {
+	if n := len(st.free); n > 0 {
+		b := st.free[n-1]
+		st.free = st.free[:n-1]
+		return b
+	}
+	st.recs = append(st.recs, bcastRec{})
+	return int32(len(st.recs) - 1)
+}
+
+// sortCopies orders a record's copies by (at, rank) — the projection of the
+// queue's total order (DeliverAt, seq) onto one broadcast's copies, so
+// head-chaining releases them in exactly the order the eager path would have
+// popped them. The comparator is total (ranks are unique within a record),
+// so the unstable sort is deterministic.
+func sortCopies(cs []bcopy) {
+	slices.SortFunc(cs, func(a, b bcopy) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		return int(a.rank) - int(b.rank)
+	})
+}
 
 // entry is the calendar's compact, pointer-free handle to one buffered
 // message: the full sort key plus the slab slot holding the Message.
@@ -412,11 +500,21 @@ type sched struct {
 	heap      eventQueue // heap mode storage (full events)
 	slab      msgSlab    // calendar mode message storage
 	cal       calQueue
-	oheap     entryHeap // calendar mode far-future overflow
+	oheap     entryHeap  // calendar mode far-future overflow
+	bcasts    bcastStore // lazy broadcast records (heads are in the queue)
 	calOn     bool
 	mode      Scheduler
 	spanHint  float64 // declared delay window δ+2ε, seeds the bucket width
 	eventHint int     // expected peak buffered events (Config.EventHint)
+	peak      int     // high-water mark of buffered (structural) events
+}
+
+// trackPeak records the population high-water mark; callers invoke it after
+// every insertion. len() is two integer reads, so the hot path barely sees it.
+func (s *sched) trackPeak() {
+	if l := s.len(); l > s.peak {
+		s.peak = l
+	}
 }
 
 // init records the workload shape. span is the declared one-way delay
@@ -460,17 +558,134 @@ func (s *sched) push(ev *event) {
 		en := entry{
 			at:  float64(ev.msg.DeliverAt),
 			key: packKey(ev.msg.Kind, ev.seq),
-			ref: s.slab.put(&ev.msg),
+		}
+		if ev.bref != 0 {
+			// Lazy-broadcast head: the record owns the message, so the slab
+			// holds nothing — the entry references the record instead,
+			// encoded as a negative ref (slab slots are never negative).
+			en.ref = -ev.bref
+		} else {
+			en.ref = s.slab.put(&ev.msg)
 		}
 		if !s.cal.tryPush(en) {
 			s.oheap.push(en)
 		}
+		s.trackPeak()
 		return
 	}
 	s.heap.push(*ev)
+	s.trackPeak()
 	if s.mode == SchedulerAuto && s.heap.len() >= calActivateLen {
 		s.activate()
 	}
+}
+
+// pushHead enqueues the head copy of broadcast record b — the next entry of
+// its (at, rank)-sorted chain. In calendar mode the head is a 24-byte entry
+// whose negative ref points at the record; in heap mode it is a fully
+// materialized event carrying bref so pop can advance the chain (and so an
+// auto-mode migration to the calendar re-files it as a record reference).
+func (s *sched) pushHead(b int32) {
+	rec := &s.bcasts.recs[b]
+	c := rec.copies[rec.next]
+	if s.calOn {
+		en := entry{at: c.at, key: rec.seqAt(c), ref: -(b + 1)}
+		if !s.cal.tryPush(en) {
+			s.oheap.push(en)
+		}
+		s.trackPeak()
+		return
+	}
+	ev := event{
+		msg: Message{
+			From: rec.from, To: ProcID(c.pid), Kind: KindOrdinary,
+			Payload: rec.payload, SentAt: rec.sentAt, DeliverAt: clock.Real(c.at),
+		},
+		seq:  rec.seqAt(c),
+		bref: b + 1,
+	}
+	s.push(&ev)
+}
+
+// pushBroadcast files one logical broadcast as a lazy record and enqueues its
+// head. at/ok are the delivery pipeline's per-recipient results (the pipeline
+// already ran — see Engine.Broadcast); local, when non-nil, filters the
+// record to the copies this engine owns (sharded mode; remote copies travel
+// as bcastChunks). seqBase/det fix the copies' sequence numbers exactly as
+// the eager path would have assigned them.
+func (s *sched) pushBroadcast(from ProcID, sentAt clock.Real, payload any, at []clock.Real, ok, local []bool, seqBase uint64, det bool) {
+	b := s.bcasts.alloc()
+	rec := &s.bcasts.recs[b]
+	rec.from, rec.sentAt, rec.payload = from, sentAt, payload
+	rec.seqBase, rec.det, rec.next = seqBase, det, 0
+	copies := rec.copies[:0]
+	rank := int32(0)
+	for q := range ok {
+		if !ok[q] {
+			continue
+		}
+		r := rank
+		rank++
+		if local != nil && !local[q] {
+			continue
+		}
+		if det {
+			r = int32(q)
+		}
+		copies = append(copies, bcopy{at: float64(at[q]), pid: int32(q), rank: r})
+	}
+	if len(copies) == 0 {
+		rec.payload = nil
+		s.bcasts.free = append(s.bcasts.free, b)
+		return
+	}
+	sortCopies(copies)
+	rec.copies = copies
+	s.pushHead(b)
+}
+
+// adoptBroadcast installs a cross-shard broadcast chunk as a local record,
+// taking ownership of its (already sorted) copies slice. Called only at
+// window barriers, single-threaded.
+func (s *sched) adoptBroadcast(ch *bcastChunk) {
+	if len(ch.copies) == 0 {
+		return
+	}
+	b := s.bcasts.alloc()
+	rec := &s.bcasts.recs[b]
+	rec.from, rec.sentAt, rec.payload = ch.from, ch.sentAt, ch.payload
+	rec.seqBase, rec.det, rec.next = ch.seqBase, ch.det, 0
+	rec.copies = ch.copies
+	s.pushHead(b)
+}
+
+// advanceBcast moves record b's chain past its just-materialized head:
+// either the next copy becomes the new head, or the exhausted record is
+// recycled (dropping its payload reference).
+func (s *sched) advanceBcast(b int32) {
+	rec := &s.bcasts.recs[b]
+	rec.next++
+	if int(rec.next) < len(rec.copies) {
+		s.pushHead(b)
+		return
+	}
+	rec.payload = nil
+	rec.copies = rec.copies[:0]
+	s.bcasts.free = append(s.bcasts.free, b)
+}
+
+// materializeHead assembles the head copy of record b into out, returns its
+// sequence number, and advances the record's chain.
+func (s *sched) materializeHead(b int32, out *Message) uint64 {
+	rec := &s.bcasts.recs[b]
+	c := rec.copies[rec.next]
+	*out = Message{
+		From: rec.from, To: ProcID(c.pid), Kind: KindOrdinary,
+		Payload: rec.payload, SentAt: rec.sentAt, DeliverAt: clock.Real(c.at),
+	}
+	seq := rec.seqAt(c)
+	s.advanceBcast(b)
+	return seq
 }
 
 // peekTime returns the delivery time of the minimum buffered event, or
@@ -497,13 +712,21 @@ func (s *sched) peekTime() (clock.Real, bool) {
 // -per-delivered-event path). The caller must ensure the queue is nonempty.
 func (s *sched) popMsg(out *Message) {
 	if !s.calOn {
-		*out = s.heap.pop().msg
+		ev := s.heap.pop()
+		*out = ev.msg
+		if ev.bref != 0 {
+			s.advanceBcast(ev.bref - 1)
+		}
 		return
 	}
 	if s.cal.count == 0 {
 		s.rotate()
 	}
 	en := s.cal.pop()
+	if en.ref < 0 {
+		s.materializeHead(-en.ref-1, out)
+		return
+	}
 	s.slab.take(en.ref, out)
 }
 
@@ -512,13 +735,22 @@ func (s *sched) popMsg(out *Message) {
 // popMsg.)
 func (s *sched) pop() event {
 	if !s.calOn {
-		return s.heap.pop()
+		ev := s.heap.pop()
+		if ev.bref != 0 {
+			s.advanceBcast(ev.bref - 1)
+			ev.bref = 0
+		}
+		return ev
 	}
 	if s.cal.count == 0 {
 		s.rotate()
 	}
 	en := s.cal.pop()
 	ev := event{seq: en.key &^ entryTimerBit}
+	if en.ref < 0 {
+		s.materializeHead(-en.ref-1, &ev.msg)
+		return ev
+	}
 	s.slab.take(en.ref, &ev.msg)
 	return ev
 }
@@ -528,6 +760,25 @@ func (s *sched) pop() event {
 // layout in calendar mode — free slab slots are zeroed and skipped by their
 // zero Kind). Read-only view for the adversary seam; never on the hot path.
 func (s *sched) forEachPending(fn func(m *Message) bool) {
+	// Lazy-broadcast copies first, synthesized from their records: every
+	// copy not yet materialized, including each record's queued head (the
+	// head lives in the queue only as a reference — or, in heap mode, as a
+	// bref-marked duplicate skipped below — so the view stays exactly one
+	// entry per pending copy).
+	var m Message
+	for i := range s.bcasts.recs {
+		rec := &s.bcasts.recs[i]
+		for j := int(rec.next); j < len(rec.copies); j++ {
+			c := rec.copies[j]
+			m = Message{
+				From: rec.from, To: ProcID(c.pid), Kind: KindOrdinary,
+				Payload: rec.payload, SentAt: rec.sentAt, DeliverAt: clock.Real(c.at),
+			}
+			if !fn(&m) {
+				return
+			}
+		}
+	}
 	if s.calOn {
 		for i := range s.slab.msgs {
 			if s.slab.msgs[i].Kind == 0 {
@@ -540,6 +791,9 @@ func (s *sched) forEachPending(fn func(m *Message) bool) {
 		return
 	}
 	for i := range s.heap.items {
+		if s.heap.items[i].bref != 0 {
+			continue
+		}
 		if !fn(&s.heap.items[i].msg) {
 			return
 		}
@@ -621,8 +875,10 @@ var calDebug = os.Getenv("CALDEBUG") != ""
 func (s *sched) rotate() {
 	c := &s.cal
 	if calDebug {
-		println("rotate: width(ns)=", int64(c.width*1e9), "inserted=", c.inserted,
-			"used=", c.used, "maxDtNear(ns)=", int64(c.maxDtNear*1e9), "heapLen=", s.oheap.len())
+		// Explicitly stderr: rotation diagnostics must never interleave with
+		// experiment/golden table output on stdout.
+		fmt.Fprintf(os.Stderr, "rotate: width(ns)=%d inserted=%d used=%d maxDtNear(ns)=%d heapLen=%d\n",
+			int64(c.width*1e9), c.inserted, c.used, int64(c.maxDtNear*1e9), s.oheap.len())
 	}
 	// Width tuning, from two decoupled signals of the finished window:
 	//

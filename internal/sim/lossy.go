@@ -29,11 +29,19 @@ func NewLossyLinks(links ...Link) LossyLinks {
 	return LossyLinks{Dead: dead}
 }
 
-// BreakBothWays marks both directions of a link failed.
+// BreakBothWays returns a channel with both directions of the (a, b) link
+// failed in addition to the receiver's dead links. The receiver is left
+// untouched: the dead-link set is cloned, not mutated, so a LossyLinks value
+// can be used as a template for several fault patterns. (It used to write
+// through the shared Dead map, silently breaking the links in every "copy".)
 func (c LossyLinks) BreakBothWays(a, b ProcID) LossyLinks {
-	c.Dead[Link{From: a, To: b}] = true
-	c.Dead[Link{From: b, To: a}] = true
-	return c
+	dead := make(map[Link]bool, len(c.Dead)+2)
+	for l := range c.Dead {
+		dead[l] = true
+	}
+	dead[Link{From: a, To: b}] = true
+	dead[Link{From: b, To: a}] = true
+	return LossyLinks{Dead: dead}
 }
 
 // Route implements Channel; the delivery pipeline's RouteStage batches

@@ -1,9 +1,14 @@
 package sim
 
 // event is a buffered message plus a sequence number for stable ordering.
+// bref, when nonzero, marks the event as the materialized head of lazy
+// broadcast record bref−1 (see bcastStore in calqueue.go): popping it must
+// advance the record's chain so the next unmaterialized copy enters the
+// queue.
 type event struct {
-	msg Message
-	seq uint64
+	msg  Message
+	seq  uint64
+	bref int32
 }
 
 // eventQueue is a 4-ary min-heap of event values ordered by delivery time; at
@@ -113,9 +118,17 @@ func (q *eventQueue) pop() event {
 	return min
 }
 
-// push enqueues a message with the next sequence number.
+// push enqueues a message with the next sequence number: the shared counter
+// normally, or — in sharded executions — a packed per-sender key that is
+// independent of shard count and window interleaving (see packShardSeq).
 func (e *Engine) push(m Message) {
-	ev := event{msg: m, seq: e.seq}
-	e.seq++
+	var ev event
+	if e.detSeq {
+		ev = event{msg: m, seq: packShardSeq(m.From, e.sidx[m.From], m.To)}
+		e.sidx[m.From]++
+	} else {
+		ev = event{msg: m, seq: e.seq}
+		e.seq++
+	}
 	e.queue.push(&ev)
 }

@@ -64,3 +64,16 @@ const procSeedTag = 0xd1b54a32d192ed03
 func procSeed(seed int64, pid ProcID) int64 {
 	return int64(mix64((uint64(seed) ^ procSeedTag) + 0x9e3779b97f4a7c15*uint64(pid+1)))
 }
+
+// senderSeedTag domain-separates the sharded engine's per-sender delay
+// streams from Context.Rand streams and every other splitmix64 consumer.
+const senderSeedTag = 0x9e6c63d0876a9a47
+
+// senderSeed derives the per-sender delay-sampling seed sharded executions
+// use. Keying the stream on (seed, sender) — instead of the sequential
+// engine's single interleaved stream — makes every sender's delay draws a
+// function of its own send history only, so delays are independent of how
+// processes are partitioned into shards and of window interleaving.
+func senderSeed(seed int64, pid ProcID) int64 {
+	return int64(mix64((uint64(seed) ^ senderSeedTag) + 0x9e3779b97f4a7c15*uint64(pid+1)))
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/exp/runner"
+)
+
+// This file implements the sharded execution mode: a conservative
+// time-window parallelization of the engine in the classic PDES style
+// (Chandy–Misra lookahead). Assumption A3 — every message delay lies in
+// [δ−ε, δ+ε] — gives the model an intrinsic lookahead of L = δ−ε: a message
+// sent at or after real time t cannot be delivered before t+L, so events in
+// the half-open window [t, t+L) are causally independent across processes
+// and may execute in parallel.
+//
+// The processes are partitioned into contiguous shards, each owning a
+// private Engine that holds only its processes' pending events. A window
+// runs as: (1) find the globally earliest pending event time m; (2) let
+// every shard drain its events in [m, m+L) concurrently via runner.Map;
+// (3) at the barrier, exchange cross-shard traffic — single-threaded — and
+// repeat. Every cross-shard message produced inside the window has delivery
+// time ≥ m+L, i.e. beyond the window, so no shard can miss an event
+// (checked at exchange time; a delay model violating its declared bounds is
+// reported, not silently reordered).
+//
+// Determinism is independent of the shard count (the oracle E19 and
+// TestShardedDeterminism pin): two mechanisms replace the sequential
+// engine's shared mutable order state. Delay sampling draws from per-sender
+// streams (senderSeed) instead of one interleaved engine stream, so a
+// copy's delay depends only on the sender's own send history. Sequence
+// numbers — the (DeliverAt, seq) tie-break — are packed per-copy keys
+// (packShardSeq) instead of a shared counter, so tie-break order is a pure
+// function of (sender, send index, recipient). Both are fixed properties of
+// the execution, not of the partition. The cost: a sharded execution is a
+// different (equally valid) execution of the same system than the
+// sequential engine's — except under deterministic delay models, where the
+// two coincide exactly (TestShardedMatchesSequential).
+//
+// Restrictions, validated at NewSharded: the channel must be stateless
+// (FullMesh or LossyLinks; Ether's contention bookkeeping is inherently
+// sequential), no adversary (its omniscient PendingDeliveries view and
+// retime hooks observe a global order), no observers (sampling happens at
+// window barriers via OnWindow instead), and δ−ε must be positive — with
+// zero lookahead no window can make progress.
+
+// shardSeqBits: a packed sequence key is from(13) | sendIndex(37) | to(13),
+// with bit 63 left clear for the calendar's TIMER flag. 13 bits cap the
+// sharded system size at 8192 processes; 37 bits of send index outlast any
+// step-bounded execution.
+const (
+	shardToBits   = 13
+	shardSidxBits = 37
+	maxShardProcs = 1 << shardToBits
+)
+
+// packShardSeq builds the deterministic sequence key of one message copy.
+// Key order refines (sender, send index, recipient) — a total order on
+// copies that depends only on the execution's causal structure, never on
+// the shard count or the interleaving of windows.
+func packShardSeq(from ProcID, sidx uint64, to ProcID) uint64 {
+	return uint64(from)<<(shardSidxBits+shardToBits) | sidx<<shardToBits | uint64(to)
+}
+
+// ShardedEngine runs one system configuration partitioned across several
+// shard engines with conservative time-window synchronization. Build with
+// NewSharded, drive with Run; per-window sampling hooks in via OnWindow.
+type ShardedEngine struct {
+	// OnWindow, when non-nil, is called single-threaded after every window
+	// barrier with the window's cut time: all events strictly before cut
+	// have been delivered and no others, so clock/correction reads at cut
+	// are well-defined. This replaces the sequential engine's observers,
+	// whose per-event callbacks have no deterministic global order here.
+	OnWindow func(se *ShardedEngine, cut clock.Real)
+
+	shards    []*Engine
+	owner     []int32 // process → shard index
+	lookahead float64 // L = δ−ε
+	workers   int
+	now       clock.Real
+	windows   int
+	maxSteps  int
+}
+
+// NewSharded validates the configuration for sharded execution and builds
+// one shard engine per partition, with processes assigned to shards in
+// contiguous blocks. All shard engines share the configuration's process,
+// clock and fault slices read-only.
+func NewSharded(cfg Config, shards int) (*ShardedEngine, error) {
+	n := len(cfg.Procs)
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: %d shards", shards)
+	}
+	if shards > n {
+		return nil, fmt.Errorf("sim: %d shards for %d processes", shards, n)
+	}
+	if n > maxShardProcs {
+		return nil, fmt.Errorf("sim: %d processes exceeds the sharded-mode cap %d (packed sequence keys)", n, maxShardProcs)
+	}
+	if cfg.Adversary != nil {
+		return nil, errors.New("sim: sharded execution does not support an adversary (its omniscient view requires the sequential engine)")
+	}
+	switch cfg.Channel.(type) {
+	case nil, FullMesh, LossyLinks:
+	default:
+		return nil, fmt.Errorf("sim: sharded execution requires a stateless channel, got %T", cfg.Channel)
+	}
+	if cfg.Delay == nil {
+		return nil, errors.New("sim: nil delay model")
+	}
+	d, eps := cfg.Delay.Bounds()
+	lookahead := d - eps
+	if !(lookahead > 0) {
+		return nil, fmt.Errorf("sim: sharded execution needs positive lookahead δ−ε, got δ=%v ε=%v", d, eps)
+	}
+
+	owner := make([]int32, n)
+	per := (n + shards - 1) / shards
+	for i := range owner {
+		owner[i] = int32(i / per)
+	}
+	se := &ShardedEngine{
+		owner:     owner,
+		lookahead: lookahead,
+		workers:   shards,
+		maxSteps:  cfg.MaxSteps,
+	}
+	if se.maxSteps <= 0 {
+		se.maxSteps = defaultMaxSteps
+	}
+	for s := 0; s < shards; s++ {
+		local := make([]bool, n)
+		nLocal := 0
+		for i := range local {
+			if owner[i] == int32(s) {
+				local[i] = true
+				nLocal++
+			}
+		}
+		scfg := cfg
+		if scfg.EventHint <= 0 {
+			// Per-shard population: every in-flight fan-out contributes at
+			// most one head here (lazy), or its local copies (eager), plus
+			// the shard's own timers.
+			if cfg.Broadcast.Resolve(n) == BroadcastLazy {
+				scfg.EventHint = 2*n + 2*nLocal + 16
+			} else {
+				scfg.EventHint = n*nLocal + 2*nLocal + 8
+			}
+		}
+		eng, err := newEngine(scfg, &shardSetup{local: local, owner: owner, shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		se.shards = append(se.shards, eng)
+	}
+	return se, nil
+}
+
+// Shards returns the number of shard engines.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard engine i (tests and metrics; treat as read-only).
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// N returns the number of processes.
+func (se *ShardedEngine) N() int { return len(se.owner) }
+
+// Now returns the current window cut: all events strictly before it have
+// been delivered.
+func (se *ShardedEngine) Now() clock.Real { return se.now }
+
+// Windows returns how many synchronization windows have run.
+func (se *ShardedEngine) Windows() int { return se.windows }
+
+// Steps returns the total number of delivered messages across all shards.
+func (se *ShardedEngine) Steps() int {
+	t := 0
+	for _, e := range se.shards {
+		t += e.steps
+	}
+	return t
+}
+
+// MessagesSent returns the total ordinary message copies scheduled.
+func (se *ShardedEngine) MessagesSent() int64 {
+	var t int64
+	for _, e := range se.shards {
+		t += e.msgsSent
+	}
+	return t
+}
+
+// MessagesLost returns the total copies dropped by the channel.
+func (se *ShardedEngine) MessagesLost() int64 {
+	var t int64
+	for _, e := range se.shards {
+		t += e.msgsLost
+	}
+	return t
+}
+
+// TimersLapsed returns the total set-timer calls that named a past time.
+func (se *ShardedEngine) TimersLapsed() int64 {
+	var t int64
+	for _, e := range se.shards {
+		t += e.timersLapsed
+	}
+	return t
+}
+
+// QueuePeak returns the largest per-shard queue population high-water mark.
+func (se *ShardedEngine) QueuePeak() int {
+	p := 0
+	for _, e := range se.shards {
+		if q := e.QueuePeak(); q > p {
+			p = q
+		}
+	}
+	return p
+}
+
+// LocalTimeSpread returns the min/max nonfaulty local time at t (all shard
+// engines hold the full clock and correction arrays; reads are safe at
+// window barriers, where OnWindow fires).
+func (se *ShardedEngine) LocalTimeSpread(t clock.Real) (lo, hi clock.Local, count int) {
+	return se.shards[0].LocalTimeSpread(t)
+}
+
+// minPending returns the earliest pending event time across all shards.
+func (se *ShardedEngine) minPending() (clock.Real, bool) {
+	var m clock.Real
+	any := false
+	for _, e := range se.shards {
+		if at, ok := e.queue.peekTime(); ok && (!any || at < m) {
+			m = at
+			any = true
+		}
+	}
+	return m, any
+}
+
+// Run executes windows until no shard holds an event at or before until, or
+// the step limit is hit. Like Engine.Run it may be called repeatedly with
+// increasing horizons; OnWindow fires once per window barrier.
+func (se *ShardedEngine) Run(until clock.Real) error {
+	for {
+		m, any := se.minPending()
+		if !any || m > until {
+			if se.now < until {
+				se.now = until
+			}
+			return nil
+		}
+		if se.Steps() >= se.maxSteps {
+			return fmt.Errorf("sim: step limit %d exceeded at t=%v", se.maxSteps, se.now)
+		}
+		hi := m + clock.Real(se.lookahead)
+		if _, err := runner.Map(se.workers, len(se.shards), func(i int) (int, error) {
+			return se.shards[i].runWindow(hi, until)
+		}); err != nil {
+			return err
+		}
+		if err := se.exchange(hi); err != nil {
+			return err
+		}
+		se.windows++
+		cut := hi
+		if until < cut {
+			cut = until
+		}
+		se.now = cut
+		if se.OnWindow != nil {
+			se.OnWindow(se, cut)
+		}
+	}
+}
+
+// exchange moves the window's cross-shard traffic — eager/unicast events
+// and lazy broadcast chunks — into the destination shards' queues.
+// Single-threaded; runs at every window barrier.
+func (se *ShardedEngine) exchange(hi clock.Real) error {
+	for _, src := range se.shards {
+		for i := range src.outbox {
+			ev := &src.outbox[i]
+			if ev.msg.DeliverAt < hi {
+				return fmt.Errorf("sim: delay model violated its declared lower bound: copy %d→%d delivers at %v inside the window ending %v",
+					ev.msg.From, ev.msg.To, ev.msg.DeliverAt, hi)
+			}
+			se.shards[se.owner[ev.msg.To]].queue.push(ev)
+			ev.msg = Message{} // release the payload reference
+		}
+		src.outbox = src.outbox[:0]
+		for d := range src.outChunks {
+			dst := se.shards[d]
+			for i := range src.outChunks[d] {
+				ch := &src.outChunks[d][i]
+				if len(ch.copies) > 0 && clock.Real(ch.copies[0].at) < hi {
+					return fmt.Errorf("sim: delay model violated its declared lower bound: broadcast copy from %d delivers at %v inside the window ending %v",
+						ch.from, ch.copies[0].at, hi)
+				}
+				dst.queue.adoptBroadcast(ch)
+				*ch = bcastChunk{}
+			}
+			src.outChunks[d] = src.outChunks[d][:0]
+		}
+	}
+	return nil
+}
+
+// runWindow drains one shard's events in [current, hi) ∩ (-∞, until],
+// producing cross-shard traffic into the engine's outbox/outChunks. It is
+// the only engine code that runs concurrently: each shard touches its own
+// queue and its own processes' state; clocks and remote corrections are
+// read-only here.
+func (e *Engine) runWindow(hi, until clock.Real) (int, error) {
+	var m Message
+	steps := 0
+	for {
+		at, ok := e.queue.peekTime()
+		if !ok || at >= hi || at > until {
+			adv := hi
+			if until < adv {
+				adv = until
+			}
+			if e.now < adv {
+				e.now = adv
+				e.spreadOK = false
+			}
+			return steps, nil
+		}
+		if e.steps >= e.maxSteps {
+			return steps, fmt.Errorf("sim: step limit %d exceeded at t=%v", e.maxSteps, e.now)
+		}
+		e.queue.popMsg(&m)
+		e.now = m.DeliverAt
+		e.spreadOK = false
+		e.steps++
+		steps++
+		e.ctx.pid = m.To
+		e.procs[m.To].Receive(&e.ctx, m)
+	}
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// shardBeacon is the sharded-mode differential process: a self-sustaining
+// broadcaster that folds every delivery into an order-sensitive FNV digest.
+// Because the fold is order-sensitive, two executions produce the same
+// digest only if every process saw the same deliveries in the same order —
+// a window-boundary or sequencing bug cannot hide behind commutativity.
+type shardBeacon struct {
+	period clock.Local
+	corr   clock.Local
+	digest uint64
+	count  int
+}
+
+func (b *shardBeacon) Corr() clock.Local { return b.corr }
+
+func (b *shardBeacon) Receive(ctx *Context, m Message) {
+	h := b.digest
+	if h == 0 {
+		h = 1469598103934665603 // FNV offset basis
+	}
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(m.From))
+	mix(uint64(m.Kind))
+	mix(math.Float64bits(float64(m.DeliverAt)))
+	mix(math.Float64bits(float64(m.SentAt)))
+	b.digest = h
+	b.count++
+	if m.Kind == KindOrdinary {
+		return
+	}
+	ctx.Broadcast(nil)
+	ctx.SetTimer(ctx.PhysNow()+b.period, nil)
+}
+
+// shardWorkload builds n shardBeacons on drifting clocks with distinct
+// start times (distinct enough that no two copies to one recipient ever tie,
+// so deterministic delay models yield one well-defined delivery order).
+func shardWorkload(n int, delay DelayModel, ch Channel) Config {
+	procs := make([]Process, n)
+	clocks := make([]clock.Clock, n)
+	starts := make([]clock.Real, n)
+	drift := clock.ConstantDrift{RhoBound: 1e-5}
+	for i := range procs {
+		procs[i] = &shardBeacon{period: 1e-3, corr: clock.Local(i) * 1e-7}
+		clocks[i] = drift.Build(i, n)
+		starts[i] = clock.Real(i) * 1.37e-6
+	}
+	return Config{
+		Procs:   procs,
+		Clocks:  clocks,
+		StartAt: starts,
+		Delay:   delay,
+		Channel: ch,
+		Seed:    11,
+	}
+}
+
+// shardDigests runs cfg across k shards to the horizon and returns the
+// per-process (digest, count) trace plus the engine totals and a spread
+// trace sampled at every window barrier.
+type shardRun struct {
+	digests []uint64
+	counts  []int
+	sent    int64
+	lost    int64
+	steps   int
+	windows int
+	spreads []clock.Local
+}
+
+func runSharded(t *testing.T, cfg Config, k int, horizon clock.Real) *shardRun {
+	t.Helper()
+	se, err := NewSharded(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &shardRun{}
+	se.OnWindow = func(se *ShardedEngine, cut clock.Real) {
+		lo, hi, _ := se.LocalTimeSpread(cut)
+		r.spreads = append(r.spreads, hi-lo)
+	}
+	if err := se.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cfg.Procs {
+		b := p.(*shardBeacon)
+		r.digests = append(r.digests, b.digest)
+		r.counts = append(r.counts, b.count)
+	}
+	r.sent, r.lost = se.MessagesSent(), se.MessagesLost()
+	r.steps, r.windows = se.Steps(), se.Windows()
+	return r
+}
+
+// equalShardRuns compares two runs field by field and names the first
+// divergence. (Each runSharded call builds a fresh Config — shardBeacon
+// digests are per-run state.)
+func equalShardRuns(a, b *shardRun) (string, bool) {
+	if a.sent != b.sent || a.lost != b.lost || a.steps != b.steps || a.windows != b.windows {
+		return "engine totals", false
+	}
+	if len(a.spreads) != len(b.spreads) {
+		return "spread trace length", false
+	}
+	for i := range a.spreads {
+		if a.spreads[i] != b.spreads[i] {
+			return "spread trace", false
+		}
+	}
+	for i := range a.digests {
+		if a.digests[i] != b.digests[i] || a.counts[i] != b.counts[i] {
+			return "per-process delivery digest", false
+		}
+	}
+	return "", true
+}
+
+// TestShardedDeterminism is the determinism oracle of the sharded engine:
+// the same system run across 1, 2, 4 and 8 shards must produce identical
+// per-process delivery digests, engine totals, window counts, and
+// barrier-sampled spread traces. Per-sender RNG streams and packed sequence
+// keys are exactly what this pins — any leak of shard-local state into
+// delay sampling or tie-break order diverges the digests.
+func TestShardedDeterminism(t *testing.T) {
+	const n = 64
+	horizon := clock.Real(0.012)
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	base := runSharded(t, shardWorkload(n, delay, nil), 1, horizon)
+	if base.steps < 5*n*n {
+		t.Fatalf("only %d steps — not a meaningful workload", base.steps)
+	}
+	for _, k := range []int{2, 4, 8} {
+		got := runSharded(t, shardWorkload(n, delay, nil), k, horizon)
+		if what, ok := equalShardRuns(base, got); !ok {
+			t.Fatalf("k=%d diverges from k=1 in %s", k, what)
+		}
+	}
+}
+
+// TestShardedLossyAccounting repeats the determinism oracle with dead links
+// in the mesh: the per-copy lost/sent split must be shard-count-invariant
+// and the lossy path must actually fire.
+func TestShardedLossyAccounting(t *testing.T) {
+	const n = 48
+	ch := LossyLinks{}.BreakBothWays(0, 47).BreakBothWays(3, 30)
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	base := runSharded(t, shardWorkload(n, delay, ch), 1, 0.012)
+	if base.lost == 0 {
+		t.Fatal("no copies lost — dead links never exercised")
+	}
+	for _, k := range []int{3, 8} {
+		got := runSharded(t, shardWorkload(n, delay, ch), k, 0.012)
+		if what, ok := equalShardRuns(base, got); !ok {
+			t.Fatalf("k=%d diverges from k=1 in %s", k, what)
+		}
+	}
+}
+
+// TestShardedMatchesSequential: under a deterministic delay model the
+// sharded execution is not merely internally consistent — it coincides
+// exactly with the sequential engine's execution, because no RNG draws
+// exist to differ between the shared stream and the per-sender streams.
+// PerLinkDelay is the richest such model (fixed asymmetric per-link
+// latencies).
+func TestShardedMatchesSequential(t *testing.T) {
+	const n = 40
+	horizon := clock.Real(0.012)
+	delay := PerLinkDelay{Delta: 4e-4, Eps: 1e-4, Seed: 3}
+
+	cfg := shardWorkload(n, delay, nil)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	seq := &shardRun{sent: eng.MessagesSent(), lost: eng.MessagesLost(), steps: eng.Steps()}
+	for _, p := range cfg.Procs {
+		b := p.(*shardBeacon)
+		seq.digests = append(seq.digests, b.digest)
+		seq.counts = append(seq.counts, b.count)
+	}
+
+	sh := runSharded(t, shardWorkload(n, delay, nil), 4, horizon)
+	if seq.sent != sh.sent || seq.lost != sh.lost || seq.steps != sh.steps {
+		t.Fatalf("totals diverge: sequential sent=%d lost=%d steps=%d, sharded sent=%d lost=%d steps=%d",
+			seq.sent, seq.lost, seq.steps, sh.sent, sh.lost, sh.steps)
+	}
+	for i := range seq.digests {
+		if seq.digests[i] != sh.digests[i] || seq.counts[i] != sh.counts[i] {
+			t.Fatalf("process %d diverges: sequential (digest=%x count=%d), sharded (digest=%x count=%d)",
+				i, seq.digests[i], seq.counts[i], sh.digests[i], sh.counts[i])
+		}
+	}
+}
+
+// TestNewShardedValidation walks the constructor's rejection table: every
+// unsupported configuration must fail loudly at build time, never silently
+// fall back to wrong parallel semantics.
+func TestNewShardedValidation(t *testing.T) {
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	cases := []struct {
+		name string
+		cfg  Config
+		k    int
+		want string
+	}{
+		{"zero shards", shardWorkload(8, delay, nil), 0, "shards"},
+		{"more shards than processes", shardWorkload(8, delay, nil), 9, "shards"},
+		{"adversary", func() Config {
+			c := shardWorkload(8, delay, nil)
+			c.Adversary = &pendingSnapshotter{trigger: 1}
+			return c
+		}(), 2, "adversary"},
+		{"stateful channel", shardWorkload(8, delay, &Ether{}), 2, "stateless channel"},
+		{"zero lookahead", shardWorkload(8, UniformDelay{Delta: 1e-4, Eps: 1e-4}, nil), 2, "lookahead"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSharded(tc.cfg, tc.k)
+			if err == nil {
+				t.Fatalf("accepted invalid configuration")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShardedStress is the -race workout for the parallel window drain: a
+// larger mesh across the full worker fan-out, long enough that every shard
+// crosses into calendar-queue territory and thousands of windows' worth of
+// cross-shard chunks move through exchange. Correctness assertions are
+// minimal — the value of this test is running the real concurrent path
+// under the race detector (CI runs the package with -race).
+func TestShardedStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: skipped under -short")
+	}
+	const n = 192
+	cfg := shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil)
+	se, err := NewSharded(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Run(0.02); err != nil {
+		t.Fatal(err)
+	}
+	if se.Steps() < 10*n*n {
+		t.Fatalf("only %d steps — stress workload too small", se.Steps())
+	}
+	for _, p := range cfg.Procs {
+		if p.(*shardBeacon).count == 0 {
+			t.Fatal("a process never received anything")
+		}
+	}
+}

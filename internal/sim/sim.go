@@ -167,13 +167,71 @@ type Config struct {
 	// scheduler produces the identical event order — the knob exists for
 	// benchmarking the structures against each other.
 	Scheduler Scheduler
-	// EventHint is the expected peak number of buffered events (a full
-	// broadcast round keeps ≈ n² copies plus a timer per process in
-	// flight). A hint pre-sizes the queue's backing stores so large-n runs
-	// skip growth-doubling copies, and lets SchedulerAuto activate the
-	// calendar eagerly instead of migrating mid-run. Zero derives the
-	// default n² + 2n + 8 from the process count.
+	// Broadcast selects eager or lazy broadcast materialization; the zero
+	// value (BroadcastAuto) picks lazily for systems large enough to
+	// benefit. Every mode produces the identical event order — see
+	// BroadcastMode.
+	Broadcast BroadcastMode
+	// EventHint is the expected peak number of buffered events. A hint
+	// pre-sizes the queue's backing stores so large-n runs skip
+	// growth-doubling copies, and lets SchedulerAuto activate the calendar
+	// eagerly instead of migrating mid-run. Zero derives the default from
+	// the process count and the resolved broadcast mode: eager broadcasts
+	// keep ≈ n² copies plus a timer per process in flight (n² + 2n + 8);
+	// lazy broadcasts keep one head per in-flight fan-out plus the timers
+	// (DefaultEventHint).
 	EventHint int
+}
+
+// BroadcastMode selects how Engine.Broadcast populates the event queue.
+// Either way the delivery pipeline — delay sampling, adversary retiming,
+// channel routing — runs in full at broadcast time (preserving the exact RNG
+// stream, channel state evolution and hook order), so both modes produce
+// byte-identical executions; the modes differ only in when the n Message
+// copies take queue space.
+type BroadcastMode uint8
+
+const (
+	// BroadcastAuto (the default) materializes lazily for systems of at
+	// least lazyBroadcastMinN processes and eagerly below that, where the
+	// n² population is trivial and the record indirection isn't worth it.
+	BroadcastAuto BroadcastMode = iota
+	// BroadcastEager enqueues all n copies of a fan-out immediately — the
+	// pre-lazy engine, byte-for-byte, with O(n²) copies buffered per round.
+	BroadcastEager
+	// BroadcastLazy files one record per fan-out and keeps only the
+	// record's earliest undelivered copy in the queue (popping it releases
+	// the next), so queue population per round drops from O(n²) to O(n).
+	BroadcastLazy
+)
+
+// lazyBroadcastMinN is the system size at which BroadcastAuto switches to
+// lazy materialization: below it a round's full fan-out population (n²)
+// stays cache-resident and the per-pop record hop buys nothing.
+const lazyBroadcastMinN = 32
+
+// Resolve returns the concrete mode (eager or lazy) that m selects for an
+// n-process system.
+func (m BroadcastMode) Resolve(n int) BroadcastMode {
+	if m == BroadcastAuto {
+		if n >= lazyBroadcastMinN {
+			return BroadcastLazy
+		}
+		return BroadcastEager
+	}
+	return m
+}
+
+// DefaultEventHint is the queue population estimate Config.EventHint
+// defaults to: the expected peak number of simultaneously buffered events
+// for an n-process all-to-all round under the given broadcast mode.
+func DefaultEventHint(m BroadcastMode, n int) int {
+	if m.Resolve(n) == BroadcastLazy {
+		// One head per in-flight fan-out, one timer per process, slack for
+		// overlapping rounds and auxiliary traffic.
+		return 4*n + 16
+	}
+	return n*n + 2*n + 8
 }
 
 // Engine executes a system configuration event by event.
@@ -204,7 +262,23 @@ type Engine struct {
 	seq        uint64
 	steps      int
 	maxSteps   int
+	lazy       bool    // resolved broadcast mode (see BroadcastMode)
 	ctx        Context // one reusable per-delivery context per engine
+
+	// Sharded-execution plumbing, nil/zero for ordinary engines (see
+	// shard.go). detSeq switches sequence numbering from the shared counter
+	// to per-copy packed keys (shard-count independent); senderRNG gives
+	// every sender its own delay stream; local marks the processes this
+	// engine owns, and cross-shard traffic accumulates in outbox (eager
+	// copies, unicasts) and outChunks (lazy fan-out slices per destination
+	// shard) until the window barrier exchanges it.
+	detSeq    bool
+	sidx      []uint64 // per-sender send index feeding packed sequence keys
+	senderRNG []RNG
+	local     []bool
+	shardOf   []int32
+	outbox    []event
+	outChunks [][]bcastChunk
 
 	// Cached nonfaulty local-time spread for the current sample point.
 	// Several observers (skew recorder, validity recorder, the invariant
@@ -233,6 +307,20 @@ const defaultMaxSteps = 10_000_000
 // New validates the configuration and builds an engine with the START
 // messages pending, matching the initial buffer state of §2.2.
 func New(cfg Config) (*Engine, error) {
+	return newEngine(cfg, nil)
+}
+
+// shardSetup carries the per-shard wiring NewSharded injects: which
+// processes this engine owns and how many sibling shards exist. It switches
+// the engine to deterministic (packed) sequence numbers and per-sender delay
+// streams so executions are independent of the shard count.
+type shardSetup struct {
+	local  []bool
+	owner  []int32
+	shards int
+}
+
+func newEngine(cfg Config, sh *shardSetup) (*Engine, error) {
 	n := len(cfg.Procs)
 	if n == 0 {
 		return nil, errors.New("sim: no processes")
@@ -305,19 +393,49 @@ func New(cfg Config) (*Engine, error) {
 			e.nonfaulty = append(e.nonfaulty, ProcID(i))
 		}
 	}
-	// Pre-size the queue's backing stores: a broadcast round keeps about n²
-	// copies plus one timer per process in flight, unless the workload
-	// supplied a sharper hint. The hint also decides the scheduler shape up
-	// front (see Scheduler/EventHint), so large-n runs start on the
-	// calendar with no mid-run migration.
+	e.lazy = cfg.Broadcast.Resolve(n) == BroadcastLazy
+	if sh != nil {
+		e.detSeq = true
+		e.sidx = make([]uint64, n)
+		e.senderRNG = make([]RNG, n)
+		for i := range e.senderRNG {
+			e.senderRNG[i] = NewRNG(senderSeed(cfg.Seed, ProcID(i)))
+		}
+		e.local = sh.local
+		e.shardOf = sh.owner
+		e.outChunks = make([][]bcastChunk, sh.shards)
+	}
+	// Pre-size the queue's backing stores for the expected peak population
+	// under the resolved broadcast mode (see Config.EventHint), unless the
+	// workload supplied a sharper hint. The hint also decides the scheduler
+	// shape up front (see Scheduler/EventHint), so large-n runs start on
+	// the calendar with no mid-run migration.
 	hint := cfg.EventHint
 	if hint <= 0 {
-		hint = n*n + 2*n + 8
+		mode := BroadcastEager
+		if e.lazy {
+			mode = BroadcastLazy
+		}
+		hint = DefaultEventHint(mode, n)
 	}
 	d, eps := delay.Bounds()
-	e.queue.init(cfg.Scheduler, hint, d, eps)
+	sched := cfg.Scheduler
+	if sched == SchedulerAuto && e.lazy {
+		// Auto-lazy means the workload is a broadcast storm whose *traffic
+		// rate* is O(n²) per delay window even though the buffered
+		// population is only O(n) — too small to ever trip the calendar's
+		// population-based migration, yet each delivery re-pushes a record
+		// head, which the calendar files in O(1) where the heap pays a
+		// sift. Activate the calendar on the traffic shape directly (the
+		// stores stay sized by the small lazy hint).
+		sched = SchedulerCalendar
+	}
+	e.queue.init(sched, hint, d, eps)
 	e.queue.grow(hint)
 	for i := 0; i < n; i++ {
+		if e.local != nil && !e.local[i] {
+			continue // sharded: a process STARTs on its home shard only
+		}
 		e.push(Message{
 			From:      ProcID(i),
 			To:        ProcID(i),
@@ -359,6 +477,21 @@ func (e *Engine) Now() clock.Real { return e.now }
 
 // Steps returns the number of delivered messages so far.
 func (e *Engine) Steps() int { return e.steps }
+
+// LazyBroadcast reports whether the engine resolved to lazy broadcast
+// materialization (see BroadcastMode).
+func (e *Engine) LazyBroadcast() bool { return e.lazy }
+
+// QueueLen returns the current number of structural queue entries: buffered
+// events plus one head per in-flight lazy broadcast (each record's
+// unmaterialized copies occupy no queue slots).
+func (e *Engine) QueueLen() int { return e.queue.len() }
+
+// QueuePeak returns the high-water mark of QueueLen over the execution —
+// the population the queue structures actually had to organize. Under eager
+// broadcasts a round peaks at O(n²); under lazy ones at O(n). The benchjson
+// memory metric reports this.
+func (e *Engine) QueuePeak() int { return e.queue.peak }
 
 // MessagesSent returns the count of ordinary message copies scheduled so far
 // (the paper's per-round message complexity derives from this).
@@ -506,20 +639,31 @@ func (e *Engine) annotate(p ProcID, tag string, v float64) {
 // including itself, as a single batched fan-out through the delivery
 // pipeline: delays for all n copies are sampled in one call (in fixed pid
 // order, drawing exactly the stream the per-copy path would), the adversary
-// stage — when installed — retimes each copy inside its clamp envelope, the
-// route stage maps them to delivery times in one pass, and the copies enter
-// the queue in one pass — in calendar mode an amortized O(n) for the whole
-// round instead of n separate O(log m) heap sifts. The payload is shared
-// across copies, and the per-copy (DeliverAt, seq) order is identical to n
+// stage — when installed — retimes each copy inside its clamp envelope, and
+// the route stage maps them to delivery times in one pass. The pipeline runs
+// in full here regardless of materialization mode, so the RNG stream, any
+// channel state (e.g. Ether contention), the send hooks and the sent/lost
+// counters evolve identically whether copies then enter the queue eagerly
+// (one queue slot per copy) or lazily (one record whose copies surface at
+// pop time — see BroadcastMode and bcastRec). The payload is shared across
+// copies, and the per-copy (DeliverAt, seq) order is identical to n
 // successive Send calls, so executions are byte-for-byte unchanged.
 func (e *Engine) Broadcast(from ProcID, payload any) {
 	n := len(e.procs)
 	base, at, ok := e.bcastDelay[:n], e.bcastAt[:n], e.bcastOK[:n]
-	e.pipe.broadcast(from, n, e.now, &e.rng, base, at, ok)
-	// One template event, patched per receiver: the 64-byte struct and its
-	// write-barriered Payload words are built once and copied exactly once
-	// per copy — into the queue slot — instead of being reassembled and
-	// passed by value through every call layer.
+	e.pipe.broadcast(from, n, e.now, e.rngFor(from), base, at, ok)
+	var sidx uint64
+	if e.detSeq {
+		sidx = e.sidx[from]
+		e.sidx[from]++
+	}
+	if e.lazy {
+		e.broadcastLazy(from, payload, at, ok, sidx)
+		return
+	}
+	// Eager: one template event, patched per receiver — the 64-byte struct
+	// and its write-barriered Payload words are built once and copied
+	// exactly once per copy, into the queue slot.
 	ev := event{msg: Message{From: from, Kind: KindOrdinary, Payload: payload, SentAt: e.now}}
 	for q := 0; q < n; q++ {
 		if !ok[q] {
@@ -529,28 +673,126 @@ func (e *Engine) Broadcast(from ProcID, payload any) {
 		e.msgsSent++
 		ev.msg.To = ProcID(q)
 		ev.msg.DeliverAt = at[q]
-		ev.seq = e.seq
-		e.seq++
-		e.queue.push(&ev)
+		if e.detSeq {
+			ev.seq = packShardSeq(from, sidx, ProcID(q))
+		} else {
+			ev.seq = e.seq
+			e.seq++
+		}
+		if e.local != nil && !e.local[q] {
+			e.outbox = append(e.outbox, ev)
+		} else {
+			e.queue.push(&ev)
+		}
 		if e.advCtl != nil {
 			e.advCtl.onSend(ev.msg)
 		}
 	}
 }
 
+// broadcastLazy is Broadcast's lazy tail: per-copy accounting and hooks run
+// here, in pid order, exactly as the eager loop would, then the surviving
+// copies are filed as one record (plus, in sharded mode, one chunk per
+// remote shard) instead of n queue slots.
+func (e *Engine) broadcastLazy(from ProcID, payload any, at []clock.Real, ok []bool, sidx uint64) {
+	seqBase := e.seq
+	if e.detSeq {
+		seqBase = packShardSeq(from, sidx, 0)
+	}
+	delivered := uint64(0)
+	for q := range ok {
+		if !ok[q] {
+			e.msgsLost++
+			continue
+		}
+		e.msgsSent++
+		if e.advCtl != nil {
+			e.advCtl.onSend(Message{
+				From: from, To: ProcID(q), Kind: KindOrdinary,
+				Payload: payload, SentAt: e.now, DeliverAt: at[q],
+			})
+		}
+		delivered++
+	}
+	if !e.detSeq {
+		e.seq += delivered
+	}
+	if delivered == 0 {
+		return
+	}
+	if e.local != nil {
+		// Sharded: file the remote copies as one chunk per destination
+		// shard (adopted into that shard's record store at the barrier).
+		e.chunkRemote(from, payload, at, ok, seqBase)
+	}
+	e.queue.pushBroadcast(from, e.now, payload, at, ok, e.local, seqBase, e.detSeq)
+}
+
+// chunkRemote splits a lazy fan-out's non-local copies into per-destination-
+// shard chunks, sorted and sequence-keyed exactly as the destination's
+// record chain requires.
+func (e *Engine) chunkRemote(from ProcID, payload any, at []clock.Real, ok []bool, seqBase uint64) {
+	for q := range ok {
+		if !ok[q] || e.local[q] {
+			continue
+		}
+		d := e.shardOf[q]
+		cl := e.outChunks[d]
+		if len(cl) == 0 || cl[len(cl)-1].from != from || cl[len(cl)-1].seqBase != seqBase {
+			cl = append(cl, bcastChunk{
+				from: from, sentAt: e.now, payload: payload,
+				seqBase: seqBase, det: true,
+			})
+		}
+		ch := &cl[len(cl)-1]
+		ch.copies = append(ch.copies, bcopy{at: float64(at[q]), pid: int32(q), rank: int32(q)})
+		e.outChunks[d] = cl
+	}
+	for d := range e.outChunks {
+		cl := e.outChunks[d]
+		if len(cl) > 0 && cl[len(cl)-1].seqBase == seqBase && cl[len(cl)-1].from == from {
+			sortCopies(cl[len(cl)-1].copies)
+		}
+	}
+}
+
 // send schedules one ordinary message copy through the delivery pipeline.
 func (e *Engine) send(from, to ProcID, payload any) {
-	at, ok := e.pipe.unicast(from, to, e.now, &e.rng)
+	at, ok := e.pipe.unicast(from, to, e.now, e.rngFor(from))
+	var sidx uint64
+	if e.detSeq {
+		sidx = e.sidx[from]
+		e.sidx[from]++
+	}
 	if !ok {
 		e.msgsLost++
 		return
 	}
 	e.msgsSent++
 	m := Message{From: from, To: to, Kind: KindOrdinary, Payload: payload, SentAt: e.now, DeliverAt: at}
-	e.push(m)
+	if e.detSeq {
+		ev := event{msg: m, seq: packShardSeq(from, sidx, to)}
+		if e.local != nil && !e.local[to] {
+			e.outbox = append(e.outbox, ev)
+		} else {
+			e.queue.push(&ev)
+		}
+	} else {
+		e.push(m)
+	}
 	if e.advCtl != nil {
 		e.advCtl.onSend(m)
 	}
+}
+
+// rngFor returns the delay-sampling stream for copies sent by p: the single
+// engine stream normally, p's own stream in sharded executions (see
+// senderSeed).
+func (e *Engine) rngFor(p ProcID) *RNG {
+	if e.senderRNG != nil {
+		return &e.senderRNG[p]
+	}
+	return &e.rng
 }
 
 // setTimer places a TIMER for process p at physical-clock time T, i.e. real
