@@ -10,6 +10,13 @@
 //	wlsim -adversary-list                   # the registered strategy space
 //	wlsim -n 7 -f 2 -adversary splitter     # faulty automata from the registry
 //	wlsim -n 7 -f 0 -adversary skewmax      # adaptive delivery retiming (E18)
+//	wlsim -scenario scenarios/partition-heal.json   # run a declarative scenario
+//
+// -scenario runs one internal/scenario JSON file — topology, delay
+// substrate, timed chaos script and assertions all come from the file (the
+// other configuration flags are rejected alongside it). The report table is
+// printed and the exit status reflects the scenario's assertions, so a
+// scenario file doubles as an executable regression test.
 //
 // -adversary resolves any strategy registered in internal/faults — fixed
 // (schedule-driven faulty automata on the top f ids) or adaptive (a
@@ -34,6 +41,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +49,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/exp/runner"
 	"repro/internal/faults"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -61,6 +70,7 @@ func main() {
 		faultStr = flag.String("faults", "", "make the top f processes faulty: silent|two-faced|noise|stale-replay|crash")
 		advStrat = flag.String("adversary", "", "install a registered adversary strategy by name (fixed or adaptive; see -adversary-list)")
 		advList  = flag.Bool("adversary-list", false, "list the registered adversary strategies and exit")
+		scenFile = flag.String("scenario", "", "run a declarative scenario file (internal/scenario JSON) and exit")
 		startup  = flag.Bool("startup", false, "run the §9.2 establishment algorithm instead")
 		trace    = flag.Int("trace", 0, "print the first N actions of the execution log")
 		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
@@ -74,6 +84,22 @@ func main() {
 
 	if *advList {
 		listAdversaries()
+		return
+	}
+
+	if *scenFile != "" {
+		// The scenario file is the whole configuration; a simulation flag
+		// next to it would be silently ignored, which is worse than an error.
+		var extra []string
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name != "scenario" {
+				extra = append(extra, "-"+fl.Name)
+			}
+		})
+		if len(extra) > 0 {
+			exitOn(fmt.Errorf("wlsim: -scenario takes its whole configuration from the file; drop %s", strings.Join(extra, ", ")))
+		}
+		exitOn(runScenario(*scenFile))
 		return
 	}
 
@@ -173,6 +199,26 @@ func main() {
 		fmt.Println("\nexecution trace:")
 		fmt.Print(rep.Trace)
 	}
+}
+
+// runScenario loads, runs and renders one declarative scenario. Assertion
+// failures (including unmet expected-violation markers) are reported through
+// the error return, so the process exits nonzero and the file works as an
+// executable regression test.
+func runScenario(path string) error {
+	s, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(s)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if !rep.Ok() {
+		return fmt.Errorf("wlsim: scenario %s failed %d assertion(s)", s.Name, len(rep.Failures))
+	}
+	return nil
 }
 
 // runTrials fans `trials` runs of the same configuration out across the

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -50,11 +51,18 @@ func TestFmtDur(t *testing.T) {
 		want string
 	}{
 		{0, "0"},
+		{math.Copysign(0, -1), "0"},
 		{1.5, "1.500s"},
 		{12e-3, "12.000ms"},
 		{3.25e-6, "3.250µs"},
 		{4e-9, "4.0ns"},
+		{-1.5, "-1.500s"},
 		{-2e-3, "-2.000ms"},
+		{-3.25e-6, "-3.250µs"},
+		{-4e-9, "-4.0ns"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
 	}
 	for _, tt := range tests {
 		if got := FmtDur(tt.in); got != tt.want {

@@ -50,6 +50,12 @@ type Workload struct {
 	// processes (e.g. a reintegrating process waking late).
 	StartOverride map[sim.ProcID]clock.Real
 
+	// Timeline schedules state mutations (channel swaps, delay-band shifts,
+	// adversary changes) at real times, interleaved deterministically with
+	// deliveries; see sim.Config.Timeline. The scenario harness
+	// (internal/scenario) compiles its event scripts into this.
+	Timeline []sim.TimedAction
+
 	// Rounds is how many rounds to simulate (default 20).
 	Rounds int
 	// Seed drives delay sampling (default 1).
@@ -194,6 +200,7 @@ func Run(w Workload) (*Result, error) {
 		Faulty:    faulty,
 		Seed:      seed,
 		Adversary: w.Adversary,
+		Timeline:  w.Timeline,
 		Scheduler: w.Scheduler,
 		Broadcast: w.broadcastMode(),
 		EventHint: w.eventHint(),

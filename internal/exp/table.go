@@ -86,9 +86,17 @@ func (t *Table) Markdown(w io.Writer) {
 }
 
 // FmtDur renders a duration in seconds with an adaptive unit (s/ms/µs/ns).
+// Non-finite values render as NaN / +Inf / -Inf rather than falling through
+// to the nanosecond branch (which printed "NaNns" / "+Infns").
 func FmtDur(sec float64) string {
 	a := math.Abs(sec)
 	switch {
+	case math.IsNaN(sec):
+		return "NaN"
+	case math.IsInf(sec, 1):
+		return "+Inf"
+	case math.IsInf(sec, -1):
+		return "-Inf"
 	case a == 0:
 		return "0"
 	case a >= 1:

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// gate stages a crash/rejoin lifecycle around the paper's algorithm. It
+// runs the maintenance automaton normally until a timeline "crash" action
+// takes it down (every delivery, timers included, is dropped — the process
+// is dead, not merely silent: a silent process still resynchronizes its own
+// clock). A later "rejoin" action marks it restartable; at the next
+// delivery the gate builds a §9.1 Rejoiner seeded with the correction the
+// clock had when it died — stale by however long the outage lasted — wakes
+// it with a synthetic START, and forwards traffic to it from then on. The
+// Rejoiner gathers a full round of marks and reintegrates per §9.1.
+//
+// Waking on the next delivery rather than at the rejoin instant mirrors the
+// model: a repaired process cannot act before an interrupt reaches it
+// (§2.1); the first broadcast of the running system is that interrupt. The
+// wake is at most one round after the rejoin action and fully
+// deterministic.
+//
+// A gated process is marked faulty for the whole run (Workload.Faults), so
+// the invariant checkers never see its dead or stale clock — the paper
+// counts a crashed process among the f faulty ones (§9.1: "counted as one
+// of the f faulty processes, which the others already tolerate").
+type gate struct {
+	cfg   core.Config
+	inner sim.Process
+
+	down    bool
+	restart bool
+	// staleCorr is the correction captured at crash time; the Rejoiner
+	// starts from it, so the longer the outage the further its clock is
+	// from the group when it wakes.
+	staleCorr clock.Local
+}
+
+var (
+	_ sim.Process    = (*gate)(nil)
+	_ sim.CorrHolder = (*gate)(nil)
+)
+
+// newGate wraps a fresh maintenance automaton. Initial correction 0 is the
+// registry convention for honest-until-event automata (faults
+// "crash-mid-run" does the same); the gated process is faulty-marked, so
+// its exact initial offset is outside every invariant's scope.
+func newGate(cfg core.Config) *gate {
+	return &gate{cfg: cfg, inner: core.NewProc(cfg, 0)}
+}
+
+// crash takes the process down, capturing the correction that will go
+// stale during the outage.
+func (g *gate) crash() {
+	g.down = true
+	if h, ok := g.inner.(sim.CorrHolder); ok {
+		g.staleCorr = h.Corr()
+	}
+}
+
+// rejoin marks the process restartable; the Rejoiner is built at the next
+// delivery (see the type comment).
+func (g *gate) rejoin() {
+	g.down = false
+	g.restart = true
+}
+
+// rejoined reports whether the process completed §9.1 reintegration.
+func (g *gate) rejoined() bool {
+	rj, ok := g.inner.(*core.Rejoiner)
+	return ok && rj.Joined()
+}
+
+// Receive implements sim.Process.
+func (g *gate) Receive(ctx *sim.Context, m sim.Message) {
+	if g.down {
+		return
+	}
+	if g.restart {
+		g.restart = false
+		rj := core.NewRejoiner(g.cfg, g.staleCorr)
+		g.inner = rj
+		rj.Receive(ctx, sim.Message{From: m.To, To: m.To, Kind: sim.KindStart, SentAt: m.DeliverAt, DeliverAt: m.DeliverAt})
+		// Fall through: the delivery that woke us is real traffic the
+		// Rejoiner should gather (pre-outage timer payloads it does not
+		// recognize are ignored by its Receive).
+	}
+	g.inner.Receive(ctx, m)
+}
+
+// Corr implements sim.CorrHolder. During an outage the correction is the
+// frozen stale value — the physical clock keeps running underneath, as a
+// dead machine's oscillator would.
+func (g *gate) Corr() clock.Local {
+	if g.down {
+		return g.staleCorr
+	}
+	if h, ok := g.inner.(sim.CorrHolder); ok {
+		return h.Corr()
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden mirrors the experiment harness's flag (separate test binary,
+// no registration conflict): regenerate with
+//
+//	go test ./internal/scenario -run TestScenarioGoldens -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current scenario output")
+
+// corpusDir is the repository's scenario corpus, relative to this package.
+const corpusDir = "../../scenarios"
+
+// corpusFiles returns the corpus paths, sorted (filepath.Glob sorts).
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("scenario corpus has %d files, want at least 5 (did %s move?)", len(files), corpusDir)
+	}
+	return files
+}
+
+// TestScenarioGoldens pins every corpus scenario's rendered report
+// byte-for-byte, the same way the experiment goldens pin the paper tables:
+// the corpus is the DSL's ground truth, and engine or harness changes that
+// claim behavior preservation prove it by leaving these files untouched.
+// Every corpus scenario must also pass its own assertions — a corpus entry
+// whose assertions fail is a broken promise even if its bytes are stable.
+func TestScenarioGoldens(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		name := filepath.Base(file)
+		t.Run(name, func(t *testing.T) {
+			s, err := Load(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("assertion failed: %s", f)
+			}
+			var buf bytes.Buffer
+			rep.Table().Render(&buf)
+			rep.Table().Markdown(&buf)
+			path := filepath.Join("testdata", "golden", s.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s report differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism reruns each corpus scenario and demands identical
+// rendered bytes — the timeline stage must not perturb the engine's
+// determinism guarantee.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		name := filepath.Base(file)
+		t.Run(name, func(t *testing.T) {
+			render := func() []byte {
+				s, err := Load(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				rep.Table().Render(&buf)
+				return buf.Bytes()
+			}
+			a, b := render(), render()
+			if !bytes.Equal(a, b) {
+				t.Errorf("two runs of %s rendered differently:\n--- first ---\n%s\n--- second ---\n%s", name, a, b)
+			}
+		})
+	}
+}

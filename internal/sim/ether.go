@@ -50,10 +50,16 @@ func (e *Ether) Route(from, to ProcID, sentAt clock.Real, baseDelay float64) (cl
 		i++
 	}
 	q = q[i:]
-	// Count arrivals contending with this one.
+	// Count arrivals contending with this one: the drop-new rule looks only
+	// at datagrams already in the buffer when this one lands, i.e. arrivals
+	// within (at−Window, at]. Copies scheduled to arrive *after* at must not
+	// evict it — they are not in the buffer yet. (An earlier version counted
+	// the double-sided window (at−Window, at+Window], so a copy routed first
+	// but arriving later could push out the current one; with out-of-order
+	// routing that over-dropped the §9.3 broadcast storms.)
 	contending := 0
 	for _, a := range q {
-		if a > at-e.Window && a <= at+e.Window {
+		if a > cutoff && a <= at {
 			contending++
 		}
 	}

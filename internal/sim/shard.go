@@ -43,7 +43,8 @@ import (
 // (FullMesh or LossyLinks; Ether's contention bookkeeping is inherently
 // sequential), no adversary (its omniscient PendingDeliveries view and
 // retime hooks observe a global order), no observers (sampling happens at
-// window barriers via OnWindow instead), and δ−ε must be positive — with
+// window barriers via OnWindow instead), no timeline (its actions mutate
+// global routing/delay state mid-window), and δ−ε must be positive — with
 // zero lookahead no window can make progress.
 
 // shardSeqBits: a packed sequence key is from(13) | sendIndex(37) | to(13),
@@ -101,6 +102,9 @@ func NewSharded(cfg Config, shards int) (*ShardedEngine, error) {
 	}
 	if cfg.Adversary != nil {
 		return nil, errors.New("sim: sharded execution does not support an adversary (its omniscient view requires the sequential engine)")
+	}
+	if len(cfg.Timeline) > 0 {
+		return nil, errors.New("sim: sharded execution does not support a timeline (actions mutate global routing/delay state mid-window)")
 	}
 	switch cfg.Channel.(type) {
 	case nil, FullMesh, LossyLinks:

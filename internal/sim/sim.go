@@ -172,6 +172,13 @@ type Config struct {
 	// benefit. Every mode produces the identical event order — see
 	// BroadcastMode.
 	Broadcast BroadcastMode
+	// Timeline is an optional script of state mutations (channel swaps,
+	// delay-band shifts, adversary changes, process crashes staged by
+	// wrapper processes) applied at scheduled real times, interleaved
+	// deterministically with deliveries. See timeline.go; the scenario DSL
+	// (internal/scenario) compiles its event scripts onto this. Not
+	// supported by sharded engines.
+	Timeline []TimedAction
 	// EventHint is the expected peak number of buffered events. A hint
 	// pre-sizes the queue's backing stores so large-n runs skip
 	// growth-doubling copies, and lets SchedulerAuto activate the calendar
@@ -292,6 +299,11 @@ type Engine struct {
 	spreadAt    clock.Real
 	spreadOK    bool
 
+	// Timeline actions pending execution (sorted by At); tlIdx is the next
+	// action to fire. See timeline.go.
+	timeline []TimedAction
+	tlIdx    int
+
 	samplers []Sampler
 	annots   []AnnotationSink
 	delivery []DeliveryObserver
@@ -394,6 +406,9 @@ func newEngine(cfg Config, sh *shardSetup) (*Engine, error) {
 		}
 	}
 	e.lazy = cfg.Broadcast.Resolve(n) == BroadcastLazy
+	if err := e.initTimeline(cfg.Timeline); err != nil {
+		return nil, err
+	}
 	if sh != nil {
 		e.detSeq = true
 		e.sidx = make([]uint64, n)
@@ -578,6 +593,19 @@ func (e *Engine) Run(until clock.Real) error {
 	var m Message
 	for {
 		at, ok := e.queue.peekTime()
+		if e.tlIdx < len(e.timeline) {
+			// Fire timeline actions due before the next delivery (ties go
+			// to the action) or, when the queue is drained past them, before
+			// the horizon. An action may swap routing/delay/adversary state
+			// or enqueue traffic, so re-peek afterwards.
+			bound := until
+			if ok && at < bound {
+				bound = at
+			}
+			if e.fireTimeline(bound) {
+				continue
+			}
+		}
 		if !ok || at > until {
 			// Advance the clock to the horizon so metrics sampled at
 			// e.Now() reflect the full interval.

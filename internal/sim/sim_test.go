@@ -519,6 +519,32 @@ func TestEtherBufferDepth(t *testing.T) {
 	}
 }
 
+// TestEtherOutOfOrderArrival is the regression test for the double-sided
+// contention window: a copy routed first but scheduled to arrive *later*
+// must not evict a copy arriving now — the drop-new rule counts only
+// datagrams already in the buffer, i.e. arrivals within (a−Window, a].
+func TestEtherOutOfOrderArrival(t *testing.T) {
+	// Window 6, buffer 1. Copy A is routed first and arrives at t=10; copy B
+	// is routed second but arrives at t=5. A is 5 > 0 away from B's arrival,
+	// inside the old double-width window (−1, 11] but outside the documented
+	// (−1, 5] one: B must be delivered.
+	ch := NewEther(6, 1)
+	if _, ok := ch.Route(0, 2, 0, 10); !ok {
+		t.Fatal("copy A should be delivered into an empty buffer")
+	}
+	if _, ok := ch.Route(1, 2, 0, 5); !ok {
+		t.Error("copy B arrives before A: a datagram not yet arrived must not evict it")
+	}
+	// The documented semantics still drop a copy contending with an arrival
+	// inside its own trailing window: C arrives at t=9, with B at 5 > 9−6.
+	if _, ok := ch.Route(3, 2, 0, 9); ok {
+		t.Error("copy C should be dropped: B already sits in its (a−Window, a] window and the buffer holds 1")
+	}
+	if got := ch.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+}
+
 // TestContextRandDistinctWithinReceive is the regression test for the old
 // Context.Rand bug: the generator was re-seeded from (pid, step count) on
 // every call, so two draws within one Receive returned identical values.

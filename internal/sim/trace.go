@@ -26,10 +26,12 @@ type TraceEvent struct {
 type Tracer struct {
 	// Limit bounds the number of recorded events.
 	Limit int
-	// Only restricts recording to one process id when ≥ 0. Initialize
-	// with NewTracer to trace everything.
-	Only ProcID
 
+	// only holds the process filter shifted by one (id+1), so the zero
+	// value means "trace everything". (It used to be an exported ProcID
+	// field whose zero value was a valid id: a Tracer{} literal silently
+	// traced only process 0.)
+	only      ProcID
 	events    []TraceEvent
 	truncated bool
 }
@@ -46,12 +48,21 @@ func NewTracer(limit int) *Tracer {
 	if limit <= 0 {
 		limit = defaultTraceLimit
 	}
-	return &Tracer{Limit: limit, Only: -1}
+	return &Tracer{Limit: limit}
 }
+
+// FilterTo restricts recording to process p's deliveries and annotations.
+func (t *Tracer) FilterTo(p ProcID) { t.only = p + 1 }
+
+// Unfiltered removes the process filter, restoring the all-processes default.
+func (t *Tracer) Unfiltered() { t.only = 0 }
+
+// skip reports whether the filter excludes process p.
+func (t *Tracer) skip(p ProcID) bool { return t.only != 0 && p != t.only-1 }
 
 // OnDeliver implements DeliveryObserver.
 func (t *Tracer) OnDeliver(e *Engine, m Message) {
-	if t.Only >= 0 && m.To != t.Only {
+	if t.skip(m.To) {
 		return
 	}
 	detail := ""
@@ -70,7 +81,7 @@ func (t *Tracer) OnDeliver(e *Engine, m Message) {
 
 // OnAnnotation implements AnnotationSink.
 func (t *Tracer) OnAnnotation(e *Engine, a Annotation) {
-	if t.Only >= 0 && a.Proc != t.Only {
+	if t.skip(a.Proc) {
 		return
 	}
 	t.record(TraceEvent{
