@@ -124,9 +124,13 @@ func (c *Cluster) Run(rounds int) (*Report, error) {
 		Drift:         c.opts.driftSchedule(c.cfg),
 		InitialSpread: c.opts.initialSpread,
 		SkewBucket:    c.opts.skewBucket,
+		Shards:        c.opts.shards,
 	}
 	var tracer *sim.Tracer
 	if c.opts.traceLimit > 0 {
+		if c.opts.shards > 1 {
+			return nil, fmt.Errorf("clocksync: WithTrace records every delivery, which sharded mode cannot order deterministically — drop WithShards or WithTrace")
+		}
 		tracer = sim.NewTracer(c.opts.traceLimit)
 		w.Observers = append(w.Observers, tracer)
 	}
@@ -218,6 +222,9 @@ func RunStartup(n, f int, spread float64, rounds int, opts ...Option) (*StartupR
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("clocksync: %w", err)
 	}
+	if o.shards > 1 {
+		return nil, fmt.Errorf("clocksync: WithShards applies to the maintenance algorithm only; the §9.2 establishment run is sequential")
+	}
 	if rounds <= 0 {
 		rounds = 15
 	}
@@ -255,6 +262,9 @@ func RunEstablishThenMaintain(n, f int, spread float64, startupRounds, maintRoun
 	cfg := core.Config{Params: params, Averager: o.averager}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	if o.shards > 1 {
+		return nil, fmt.Errorf("clocksync: WithShards applies to the maintenance algorithm only; the establish-then-maintain lifecycle is sequential")
 	}
 	if startupRounds < 2 {
 		startupRounds = 2

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -39,6 +40,11 @@ type result struct {
 	// memory story of lazy broadcast materialization (≈ n² eager, O(n)
 	// lazy), deterministic per benchmark and tracked like the time metrics.
 	PeakQueueEvents float64 `json:"peak_queue_events,omitempty"`
+	// BarrierCount (sharded benchmarks only) is how many full cross-shard
+	// barriers the run paid — the window-batching win. Deterministic per
+	// configuration, so the nightly gate compares it without machine
+	// normalization, like allocs_per_op.
+	BarrierCount float64 `json:"barrier_count,omitempty"`
 }
 
 type report struct {
@@ -82,7 +88,7 @@ func main() {
 	}
 
 	rep := report{
-		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state); LargeN is 10 maintenance rounds of an n-process broadcast mesh, with -heap forcing the pre-calendar scheduler and -eager forcing eager broadcast materialization as baselines; peak_queue_events is the queue population high-water mark (≈ n² eager, O(n) lazy); -sharded-k runs the mesh across k time-window shards",
+		Note: "events/sec is simulator event throughput; in steady, one op = one delivered event and allocs_per_op must stay ~0 (no-observer steady state); LargeN is 10 maintenance rounds of an n-process broadcast mesh, with -heap forcing the pre-calendar scheduler and -eager forcing eager broadcast materialization as baselines; peak_queue_events is the queue population high-water mark (≈ n² eager, O(n) lazy); -sharded-k runs the mesh across k time-window shards with batched windows and a pooled cross-shard copy exchange — barrier_count is the full barriers paid (batching collapses it toward one per round) and its allocs_per_op must stay within 4× the sequential entry's (TestShardedSteadyAllocs); both are deterministic and gated by -against without machine normalization; measured events/sec depends on the host's core count (a single-core machine cannot show the parallel speedup)",
 	}
 	for _, bm := range benchmarks {
 		// Best of -count runs: shared/virtualized machines steal CPU in
@@ -100,6 +106,7 @@ func main() {
 				EventsPerSec:    r.Extra["events/sec"],
 				EventsPerOp:     r.Extra["events/op"],
 				PeakQueueEvents: r.Extra["peak-queue-events"],
+				BarrierCount:    r.Extra["barrier-count"],
 			}
 			if i == 0 || cur.EventsPerSec > best.EventsPerSec {
 				best = cur
@@ -144,7 +151,7 @@ func main() {
 		}
 		// Status goes to stderr: with -o - the stdout stream is the JSON
 		// report (the documented `| jq .` pattern) and must stay parseable.
-		fmt.Fprintf(os.Stderr, "no events/sec regression beyond %.0f%% vs %s\n", *tolerance*100, *against)
+		fmt.Fprintf(os.Stderr, "no regression beyond %.0f%% vs %s (events/sec machine-normalized; sharded allocs_per_op and barrier_count raw)\n", *tolerance*100, *against)
 	}
 }
 
@@ -172,6 +179,12 @@ func main() {
 // of every events/sec entry. Benchmarks only present on one side are
 // ignored, so adding a benchmark does not break the gate until its numbers
 // are committed.
+//
+// Sharded (-sharded-k) entries carry two further gated metrics,
+// allocs_per_op and barrier_count, which are deterministic for a fixed
+// workload and seed and therefore compared raw — no machine factor, no
+// blind spot: growing either by more than the tolerance fails the run on
+// any hardware.
 func checkRegression(fresh, committed report, tolerance float64) error {
 	// Below this median fresh/committed ratio the run fails even though
 	// the slowdown is uniform: it is either severely degraded hardware or
@@ -214,6 +227,35 @@ func checkRegression(fresh, committed report, tolerance float64) error {
 					p.name, p.now/1e6, p.was/1e6, p.speedFrac, machine))
 		}
 	}
+	// Sharded entries additionally gate on allocs_per_op and barrier_count.
+	// Both are deterministic properties of the code (a fixed workload at a
+	// fixed seed allocates and barriers identically on every machine), so
+	// unlike events/sec they compare raw: any increase beyond the tolerance
+	// is a code regression — a leak on the pooled exchange path or a window
+	// that stopped batching — regardless of what hardware ran the check.
+	committedByName := make(map[string]result, len(committed.Benchmarks))
+	for _, b := range committed.Benchmarks {
+		committedByName[b.Name] = b
+	}
+	for _, b := range fresh.Benchmarks {
+		if !strings.Contains(b.Name, "-sharded-") {
+			continue
+		}
+		was, ok := committedByName[b.Name]
+		if !ok {
+			continue
+		}
+		if was.AllocsPerOp > 0 && b.AllocsPerOp > was.AllocsPerOp*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f allocs/op, was %.0f (deterministic metric, compared raw)",
+					b.Name, b.AllocsPerOp, was.AllocsPerOp))
+		}
+		if was.BarrierCount > 0 && b.BarrierCount > was.BarrierCount*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f barriers, was %.0f (deterministic metric, compared raw — window batching regressed)",
+					b.Name, b.BarrierCount, was.BarrierCount))
+		}
+	}
 	if len(regressions) > 0 {
 		out := ""
 		for i, l := range regressions {
@@ -222,7 +264,7 @@ func checkRegression(fresh, committed report, tolerance float64) error {
 			}
 			out += l
 		}
-		return fmt.Errorf("events/sec regressions beyond %.0f%% (after normalizing for machine speed %.2fx):\n  %s",
+		return fmt.Errorf("benchmark regressions beyond %.0f%% (events/sec normalized for machine speed %.2fx; sharded allocs/barriers compared raw):\n  %s",
 			tolerance*100, machine, out)
 	}
 	return nil

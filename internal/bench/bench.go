@@ -274,12 +274,15 @@ func NewLargeNShardedEngine(n int, seed int64, k int) (*sim.ShardedEngine, core.
 // LargeNSharded returns a benchmark running the LargeN workload across k
 // shards; events/sec measures the parallel window-drain throughput against
 // the sequential LargeN numbers, peak-queue-events the largest per-shard
-// population.
+// population, and barrier-count the number of full cross-shard barriers the
+// run paid — the window-batching win, deterministic per configuration and
+// gated by the nightly benchjson comparison like the allocation numbers.
 func LargeNSharded(n, k int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		var events float64
 		peak := 0
+		var stats sim.ShardStats
 		for i := 0; i < b.N; i++ {
 			se, cfg, tmax0, err := NewLargeNShardedEngine(n, 1, k)
 			if err != nil {
@@ -294,10 +297,15 @@ func LargeNSharded(n, k int) func(*testing.B) {
 			}
 			events += float64(se.Steps())
 			peak = se.QueuePeak()
+			stats = se.Stats() // deterministic: identical every op
 		}
 		b.StopTimer()
+		if stats.BatchedWindows == 0 {
+			b.Fatalf("window batching never fired: stats %+v (every traffic-free window should fold into its predecessor's barrier)", stats)
+		}
 		b.ReportMetric(events/float64(b.N), "events/op")
 		b.ReportMetric(float64(peak), "peak-queue-events")
+		b.ReportMetric(float64(stats.Barriers), "barrier-count")
 		if s := b.Elapsed().Seconds(); s > 0 {
 			b.ReportMetric(events/s, "events/sec")
 		}

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
 
 // steadyAllocGate runs the shared allocation gate against one steady-state
 // engine: after warm-up, measured Run slices must stay allocation-free.
@@ -50,6 +54,30 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 // path: at n = 40 BroadcastAuto resolves to lazy, so every fan-out runs the
 // record/head machinery — record recycling, head re-push on pop, copy-slice
 // reuse — which must be as allocation-free as the eager loop it replaced.
+// TestShardedSteadyAllocs is the sharded allocation budget gate: the same
+// n=1009 workload benchjson tracks, run sequentially and across 8 shards,
+// with the sharded run's allocs/op capped at 4× the sequential engine's.
+// The sharded engine's extra allocations are per-engine warm-up (k calendar
+// arenas, the first round's cross-shard chunk slices); in steady state the
+// copy pool recycles chunk capacity between shards, so a leak on the
+// exchange path — a chunk slice dropped instead of pooled, a recycled
+// record regrowing its copies from nil — multiplies per-round and blows the
+// budget immediately (the pre-pool engine sat at ~14× sequential).
+func TestShardedSteadyAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the n=1009 benchmark pair (~10s)")
+	}
+	seq := testing.Benchmark(LargeN(1009, sim.SchedulerAuto, sim.BroadcastAuto))
+	sh := testing.Benchmark(LargeNSharded(1009, 8))
+	seqAllocs, shAllocs := seq.AllocsPerOp(), sh.AllocsPerOp()
+	if seqAllocs <= 0 {
+		t.Fatalf("sequential n=1009 reported %d allocs/op; the gate has no baseline", seqAllocs)
+	}
+	if shAllocs > 4*seqAllocs {
+		t.Errorf("sharded n=1009 k=8 allocated %d/op, over the budget of 4× the sequential %d/op — the pooled cross-shard exchange is leaking", shAllocs, seqAllocs)
+	}
+}
+
 func TestEngineLazySteadyStateAllocs(t *testing.T) {
 	eng, err := NewSteadyEngine(40, 1)
 	if err != nil {

@@ -84,6 +84,15 @@ type Workload struct {
 	// zero (auto: lazy for n ≥ 32) outside differential tests — both modes
 	// deliver the identical event sequence (see sim.BroadcastMode).
 	Broadcast sim.BroadcastMode
+
+	// Shards, when > 1, runs the workload on the sharded time-window engine
+	// (sim.NewSharded) instead of the sequential one; the execution is
+	// byte-identical for every shard count. Workload features sharded mode
+	// rejects fail Run with a clear error: an Adversary or Timeline at
+	// engine construction, and per-delivery observers (e.g. sim.Tracer) at
+	// registration — the standard recorders and the invariant suite all
+	// sample at window barriers and work unchanged.
+	Shards int
 }
 
 // broadcastMode resolves the workload's effective mode, honoring the test
@@ -127,13 +136,42 @@ func (w Workload) eventHint() int {
 
 // Result bundles the engine and the recorders after a run.
 type Result struct {
-	Engine   *sim.Engine
+	// Engine is the sequential engine, nil when the workload ran sharded.
+	Engine *sim.Engine
+	// Sharded is the sharded engine, non-nil exactly when Workload.Shards
+	// was > 1. Use the MessagesSent/MessagesLost/Steps accessors for
+	// counters that must work either way.
+	Sharded  *sim.ShardedEngine
 	Skew     *metrics.SkewRecorder
 	Rounds   *metrics.RoundRecorder
 	Validity *metrics.ValidityRecorder
 	Horizon  clock.Real
 	// Invariants is non-nil when the workload set CheckInvariants.
 	Invariants *invariant.Suite
+}
+
+// Steps returns the delivered-event count of whichever engine ran.
+func (r *Result) Steps() int {
+	if r.Sharded != nil {
+		return r.Sharded.Steps()
+	}
+	return r.Engine.Steps()
+}
+
+// MessagesSent returns the ordinary-copy send count of whichever engine ran.
+func (r *Result) MessagesSent() int64 {
+	if r.Sharded != nil {
+		return r.Sharded.MessagesSent()
+	}
+	return r.Engine.MessagesSent()
+}
+
+// MessagesLost returns the lossy-channel drop count of whichever engine ran.
+func (r *Result) MessagesLost() int64 {
+	if r.Sharded != nil {
+		return r.Sharded.MessagesLost()
+	}
+	return r.Engine.MessagesLost()
 }
 
 // Run assembles and executes the workload, returning the recorders.
@@ -191,7 +229,7 @@ func Run(w Workload) (*Result, error) {
 		starts[id] = at
 	}
 
-	eng, err := sim.New(sim.Config{
+	scfg := sim.Config{
 		Procs:     procs,
 		Clocks:    clocks,
 		StartAt:   starts,
@@ -204,7 +242,17 @@ func Run(w Workload) (*Result, error) {
 		Scheduler: w.Scheduler,
 		Broadcast: w.broadcastMode(),
 		EventHint: w.eventHint(),
-	})
+	}
+	var eng *sim.Engine
+	var se *sim.ShardedEngine
+	var err error
+	if w.Shards > 1 {
+		// NewSharded rejects the features sharded mode cannot run
+		// (adversary, timeline, stateful channels) with its own errors.
+		se, err = sim.NewSharded(scfg, w.Shards)
+	} else {
+		eng, err = sim.New(scfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("exp: %w", err)
 	}
@@ -246,20 +294,31 @@ func Run(w Workload) (*Result, error) {
 		TMin0: tmin0, TMax0: tmax0,
 		From: tmax0,
 	}
-	eng.Observe(skew)
-	eng.Observe(rrec)
-	eng.Observe(vrec)
+	observers := []sim.Observer{skew, rrec, vrec}
 	var suite *invariant.Suite
 	if w.CheckInvariants {
 		suite = invariant.NewSuite(cfg.Params, tmin0, tmax0, skew.Warmup)
-		for _, o := range suite.Observers() {
-			eng.Observe(o)
-		}
+		observers = append(observers, suite.Observers()...)
 	}
-	for _, o := range w.Observers {
+	observers = append(observers, w.Observers...)
+	for _, o := range observers {
+		if se != nil {
+			// Sharded registration can fail: per-delivery observers have no
+			// deterministic place in a parallel window drain.
+			if err := se.Observe(o); err != nil {
+				return nil, fmt.Errorf("exp: %w", err)
+			}
+			continue
+		}
 		eng.Observe(o)
 	}
 
+	if se != nil {
+		if err := se.Run(horizon); err != nil {
+			return nil, fmt.Errorf("exp: run: %w", err)
+		}
+		return &Result{Sharded: se, Skew: skew, Rounds: rrec, Validity: vrec, Horizon: horizon, Invariants: suite}, nil
+	}
 	if err := eng.Run(horizon); err != nil {
 		return nil, fmt.Errorf("exp: run: %w", err)
 	}

@@ -127,6 +127,7 @@ type bcastRec struct {
 	copies  []bcopy
 	next    int32 // copies[next:] are unmaterialized; copies[next] is the head
 	det     bool  // deterministic (packed) sequence numbers: seq = seqBase | pid
+	adopted bool  // copies came from a cross-shard chunk; return to the pool
 	from    ProcID
 	seqBase uint64
 	sentAt  clock.Real
@@ -502,6 +503,7 @@ type sched struct {
 	cal       calQueue
 	oheap     entryHeap  // calendar mode far-future overflow
 	bcasts    bcastStore // lazy broadcast records (heads are in the queue)
+	copyPool  [][]bcopy  // recycled bcopy capacity for cross-shard chunks
 	calOn     bool
 	mode      Scheduler
 	spanHint  float64 // declared delay window δ+2ε, seeds the bucket width
@@ -617,8 +619,14 @@ func (s *sched) pushBroadcast(from ProcID, sentAt clock.Real, payload any, at []
 	b := s.bcasts.alloc()
 	rec := &s.bcasts.recs[b]
 	rec.from, rec.sentAt, rec.payload = from, sentAt, payload
-	rec.seqBase, rec.det, rec.next = seqBase, det, 0
+	rec.seqBase, rec.det, rec.next, rec.adopted = seqBase, det, 0, false
 	copies := rec.copies[:0]
+	if cap(copies) == 0 {
+		// The record's previous copies slice was adopted from a cross-shard
+		// chunk and donated to the pool on exhaustion (see advanceBcast);
+		// draw capacity back out instead of regrowing from nil.
+		copies = s.takeCopySlice()
+	}
 	rank := int32(0)
 	for q := range ok {
 		if !ok[q] {
@@ -646,7 +654,11 @@ func (s *sched) pushBroadcast(from ProcID, sentAt clock.Real, payload any, at []
 
 // adoptBroadcast installs a cross-shard broadcast chunk as a local record,
 // taking ownership of its (already sorted) copies slice. Called only at
-// window barriers, single-threaded.
+// window barriers, single-threaded. Any copies capacity the recycled record
+// already held goes to the copy pool rather than being dropped, and the
+// record is marked adopted so exhaustion returns the chunk's capacity
+// there too — the pool feeds this shard's own outgoing chunks
+// (Engine.chunkRemote), closing the recycle loop across shards.
 func (s *sched) adoptBroadcast(ch *bcastChunk) {
 	if len(ch.copies) == 0 {
 		return
@@ -655,8 +667,34 @@ func (s *sched) adoptBroadcast(ch *bcastChunk) {
 	rec := &s.bcasts.recs[b]
 	rec.from, rec.sentAt, rec.payload = ch.from, ch.sentAt, ch.payload
 	rec.seqBase, rec.det, rec.next = ch.seqBase, ch.det, 0
+	if cap(rec.copies) > 0 {
+		s.putCopySlice(rec.copies)
+	}
 	rec.copies = ch.copies
+	rec.adopted = true
 	s.pushHead(b)
+}
+
+// takeCopySlice pops a recycled bcopy slice (length 0) from the pool, or
+// returns nil when the pool is empty. Sharded mode only; each shard touches
+// only its own pool during a window drain, and adoption at the barrier is
+// single-threaded.
+func (s *sched) takeCopySlice() []bcopy {
+	if n := len(s.copyPool); n > 0 {
+		c := s.copyPool[n-1]
+		s.copyPool[n-1] = nil
+		s.copyPool = s.copyPool[:n-1]
+		return c
+	}
+	return nil
+}
+
+// putCopySlice returns a bcopy slice's capacity to the pool.
+func (s *sched) putCopySlice(c []bcopy) {
+	if cap(c) == 0 {
+		return
+	}
+	s.copyPool = append(s.copyPool, c[:0])
 }
 
 // advanceBcast moves record b's chain past its just-materialized head:
@@ -670,7 +708,15 @@ func (s *sched) advanceBcast(b int32) {
 		return
 	}
 	rec.payload = nil
-	rec.copies = rec.copies[:0]
+	if rec.adopted {
+		// The copies arrived as a cross-shard chunk: hand the capacity to
+		// the copy pool, where this shard's outgoing chunks draw from.
+		s.putCopySlice(rec.copies)
+		rec.copies = nil
+		rec.adopted = false
+	} else {
+		rec.copies = rec.copies[:0]
+	}
 	s.bcasts.free = append(s.bcasts.free, b)
 }
 

@@ -124,7 +124,7 @@ func (q *eventQueue) pop() event {
 func (e *Engine) push(m Message) {
 	var ev event
 	if e.detSeq {
-		ev = event{msg: m, seq: packShardSeq(m.From, e.sidx[m.From], m.To)}
+		ev = event{msg: m, seq: e.packSeq(m.From, e.sidx[m.From], m.To)}
 		e.sidx[m.From]++
 	} else {
 		ev = event{msg: m, seq: e.seq}

@@ -3,6 +3,10 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime/debug"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/exp/runner"
@@ -19,12 +23,26 @@ import (
 // The processes are partitioned into contiguous shards, each owning a
 // private Engine that holds only its processes' pending events. A window
 // runs as: (1) find the globally earliest pending event time m; (2) let
-// every shard drain its events in [m, m+L) concurrently via runner.Map;
-// (3) at the barrier, exchange cross-shard traffic — single-threaded — and
-// repeat. Every cross-shard message produced inside the window has delivery
-// time ≥ m+L, i.e. beyond the window, so no shard can miss an event
-// (checked at exchange time; a delay model violating its declared bounds is
-// reported, not silently reordered).
+// every shard drain its events in [m, m+L) concurrently; (3) synchronize,
+// exchange cross-shard traffic — single-threaded — and repeat. Every
+// cross-shard message produced inside the window has delivery time ≥ m+L,
+// i.e. beyond the window, so no shard can miss an event (checked at
+// exchange time; a delay model violating its declared bounds is reported,
+// not silently reordered).
+//
+// Windows are *batched*: the only reason a shard must stop at a window
+// boundary is cross-shard traffic another shard may have produced. When a
+// window produces none anywhere — the common case in round-structured
+// workloads, where only the window containing the round's broadcasts sends
+// across shards and the following delivery windows are silent — the
+// exchange is a no-op and the next window starts immediately on a
+// lightweight in-place barrier (an atomic arrival counter plus a release
+// channel) inside one runner.Map invocation, instead of tearing the worker
+// set down and spawning a new one. One runner.Map call therefore covers a
+// maximal run of traffic-free windows plus the window that finally produced
+// traffic; ShardStats separates the full barriers from the batched windows
+// so benchmarks can assert the collapse fires (barrier count trends toward
+// O(rounds) while the window count stays O(rounds·windows)).
 //
 // Determinism is independent of the shard count (the oracle E19 and
 // TestShardedDeterminism pin): two mechanisms replace the sequential
@@ -32,48 +50,68 @@ import (
 // streams (senderSeed) instead of one interleaved engine stream, so a
 // copy's delay depends only on the sender's own send history. Sequence
 // numbers — the (DeliverAt, seq) tie-break — are packed per-copy keys
-// (packShardSeq) instead of a shared counter, so tie-break order is a pure
-// function of (sender, send index, recipient). Both are fixed properties of
-// the execution, not of the partition. The cost: a sharded execution is a
-// different (equally valid) execution of the same system than the
-// sequential engine's — except under deterministic delay models, where the
-// two coincide exactly (TestShardedMatchesSequential).
+// (Engine.packSeq) instead of a shared counter, so tie-break order is a
+// pure function of (sender, send index, recipient). Both are fixed
+// properties of the execution, not of the partition. The cost: a sharded
+// execution is a different (equally valid) execution of the same system
+// than the sequential engine's — except under deterministic delay models,
+// where the two coincide exactly (TestShardedMatchesSequential).
 //
 // Restrictions, validated at NewSharded: the channel must be stateless
 // (FullMesh or LossyLinks; Ether's contention bookkeeping is inherently
 // sequential), no adversary (its omniscient PendingDeliveries view and
-// retime hooks observe a global order), no observers (sampling happens at
-// window barriers via OnWindow instead), no timeline (its actions mutate
+// retime hooks observe a global order), no timeline (its actions mutate
 // global routing/delay state mid-window), and δ−ε must be positive — with
-// zero lookahead no window can make progress.
+// zero lookahead no window can make progress. Observers are supported at
+// window-barrier resolution via ShardedEngine.Observe: Sampler and
+// AnnotationSink observers fire single-threaded at every window cut in a
+// deterministic merged order; per-delivery observers are rejected (inside a
+// window, deliveries on different shards have no global order).
 
-// shardSeqBits: a packed sequence key is from(13) | sendIndex(37) | to(13),
-// with bit 63 left clear for the calendar's TIMER flag. 13 bits cap the
-// sharded system size at 8192 processes; 37 bits of send index outlast any
+// maxShardProcs caps the sharded system size. A packed sequence key splits
+// 63 bits (bit 63 is the calendar's TIMER flag) as
+// from(b) | sendIndex(63−2b) | to(b) with b = ⌈log₂ n⌉, so at the cap
+// (2¹⁷ processes) 29 bits of per-sender send index remain — far beyond any
 // step-bounded execution.
-const (
-	shardToBits   = 13
-	shardSidxBits = 37
-	maxShardProcs = 1 << shardToBits
-)
+const maxShardProcs = 1 << 17
 
-// packShardSeq builds the deterministic sequence key of one message copy.
-// Key order refines (sender, send index, recipient) — a total order on
-// copies that depends only on the execution's causal structure, never on
-// the shard count or the interleaving of windows.
-func packShardSeq(from ProcID, sidx uint64, to ProcID) uint64 {
-	return uint64(from)<<(shardSidxBits+shardToBits) | sidx<<shardToBits | uint64(to)
+// packSeq builds the deterministic sequence key of one message copy. Key
+// order refines (sender, send index, recipient) — a total order on copies
+// that depends only on the execution's causal structure, never on the shard
+// count or the interleaving of windows. The bit split is sized to the
+// system at NewSharded (seqToBits/seqFromShift); a send index outgrowing
+// its field would silently corrupt the order, so it panics instead.
+func (e *Engine) packSeq(from ProcID, sidx uint64, to ProcID) uint64 {
+	if sidx > e.sidxMax {
+		panic(fmt.Sprintf("sim: sender %d send index %d overflows the packed sequence key (n=%d leaves %d index bits)",
+			from, sidx, len(e.procs), 63-2*int(e.seqToBits)))
+	}
+	return uint64(from)<<e.seqFromShift | sidx<<e.seqToBits | uint64(to)
+}
+
+// ShardStats counts the synchronization work of a sharded run.
+type ShardStats struct {
+	// Windows is how many lookahead windows have executed.
+	Windows int
+	// Barriers is how many full stop-the-world barriers ran (runner.Map
+	// worker-set spawns, one per maximal batch of windows).
+	Barriers int
+	// BatchedWindows is how many windows completed inside a batch — after a
+	// window in which no shard produced cross-shard traffic, so the next
+	// window started on the in-place barrier without a worker-set respawn.
+	// Windows = Barriers + BatchedWindows.
+	BatchedWindows int
 }
 
 // ShardedEngine runs one system configuration partitioned across several
 // shard engines with conservative time-window synchronization. Build with
-// NewSharded, drive with Run; per-window sampling hooks in via OnWindow.
+// NewSharded, drive with Run; per-window sampling hooks in via OnWindow or
+// Observe.
 type ShardedEngine struct {
 	// OnWindow, when non-nil, is called single-threaded after every window
-	// barrier with the window's cut time: all events strictly before cut
-	// have been delivered and no others, so clock/correction reads at cut
-	// are well-defined. This replaces the sequential engine's observers,
-	// whose per-event callbacks have no deterministic global order here.
+	// with the window's cut time: all events strictly before cut have been
+	// delivered and no others, so clock/correction reads at cut are
+	// well-defined.
 	OnWindow func(se *ShardedEngine, cut clock.Real)
 
 	shards    []*Engine
@@ -81,8 +119,12 @@ type ShardedEngine struct {
 	lookahead float64 // L = δ−ε
 	workers   int
 	now       clock.Real
-	windows   int
 	maxSteps  int
+	stats     ShardStats
+
+	samplers   []Sampler
+	annotSinks []AnnotationSink
+	annotMerge []Annotation // reused window-merge scratch
 }
 
 // NewSharded validates the configuration for sharded execution and builds
@@ -125,6 +167,14 @@ func NewSharded(cfg Config, shards int) (*ShardedEngine, error) {
 	for i := range owner {
 		owner[i] = int32(i / per)
 	}
+	shardProcs := make([]int32, shards)
+	for _, o := range owner {
+		shardProcs[o]++
+	}
+	procBits := bits.Len(uint(n - 1))
+	if procBits < 1 {
+		procBits = 1
+	}
 	se := &ShardedEngine{
 		owner:     owner,
 		lookahead: lookahead,
@@ -144,7 +194,14 @@ func NewSharded(cfg Config, shards int) (*ShardedEngine, error) {
 			}
 		}
 		scfg := cfg
-		if scfg.EventHint <= 0 {
+		if scfg.EventHint > 0 {
+			// A caller-supplied hint describes the whole system; this engine
+			// only ever buffers its own processes' share — roughly hint/k —
+			// plus up to one lazy head per in-flight fan-out. Passing the
+			// whole-system figure through would oversize every shard's
+			// calendar k-fold (TestShardedEventHintScaling pins this).
+			scfg.EventHint = cfg.EventHint/shards + n + 2*(n/shards) + 16
+		} else {
 			// Per-shard population: every in-flight fan-out contributes at
 			// most one head here (lazy), or its local copies (eager), plus
 			// the shard's own timers.
@@ -154,13 +211,45 @@ func NewSharded(cfg Config, shards int) (*ShardedEngine, error) {
 				scfg.EventHint = n*nLocal + 2*nLocal + 8
 			}
 		}
-		eng, err := newEngine(scfg, &shardSetup{local: local, owner: owner, shards: shards})
+		eng, err := newEngine(scfg, &shardSetup{
+			local: local, owner: owner, shards: shards,
+			shardProcs: shardProcs, procBits: procBits,
+		})
 		if err != nil {
 			return nil, err
 		}
 		se.shards = append(se.shards, eng)
 	}
 	return se, nil
+}
+
+// Observe registers an observer at window-barrier resolution, classifying
+// it once by capability. Must be called before Run. Samplers fire once per
+// window at the cut time; annotations emitted inside a window are buffered
+// per shard and dispatched at the cut in a deterministic merged order
+// (sorted by (At, Proc); per-process emission order preserved) — identical
+// for every shard count. Per-delivery observers are rejected: inside a
+// window, deliveries on different shards have no global order to replay.
+func (se *ShardedEngine) Observe(o Observer) error {
+	if _, ok := o.(DeliveryObserver); ok {
+		return fmt.Errorf("sim: sharded execution cannot run per-delivery observer %T (deliveries inside a window have no deterministic global order; use Sampler/AnnotationSink observers or OnWindow, sampled at window barriers)", o)
+	}
+	matched := false
+	if s, ok := o.(Sampler); ok {
+		se.samplers = append(se.samplers, s)
+		matched = true
+	}
+	if a, ok := o.(AnnotationSink); ok {
+		se.annotSinks = append(se.annotSinks, a)
+		for _, e := range se.shards {
+			e.annotCapture = true
+		}
+		matched = true
+	}
+	if !matched {
+		return fmt.Errorf("sim: Observe(%T): type implements neither Sampler nor AnnotationSink", o)
+	}
+	return nil
 }
 
 // Shards returns the number of shard engines.
@@ -177,7 +266,10 @@ func (se *ShardedEngine) N() int { return len(se.owner) }
 func (se *ShardedEngine) Now() clock.Real { return se.now }
 
 // Windows returns how many synchronization windows have run.
-func (se *ShardedEngine) Windows() int { return se.windows }
+func (se *ShardedEngine) Windows() int { return se.stats.Windows }
+
+// Stats returns the synchronization counters of the run so far.
+func (se *ShardedEngine) Stats() ShardStats { return se.stats }
 
 // Steps returns the total number of delivered messages across all shards.
 func (se *ShardedEngine) Steps() int {
@@ -228,7 +320,7 @@ func (se *ShardedEngine) QueuePeak() int {
 
 // LocalTimeSpread returns the min/max nonfaulty local time at t (all shard
 // engines hold the full clock and correction arrays; reads are safe at
-// window barriers, where OnWindow fires).
+// window barriers, where OnWindow and the observers fire).
 func (se *ShardedEngine) LocalTimeSpread(t clock.Real) (lo, hi clock.Local, count int) {
 	return se.shards[0].LocalTimeSpread(t)
 }
@@ -246,10 +338,198 @@ func (se *ShardedEngine) minPending() (clock.Real, bool) {
 	return m, any
 }
 
+// pendNext is one shard's earliest pending event time after a window drain.
+type pendNext struct {
+	at clock.Real
+	ok bool
+}
+
+// shardBatch is the shared state of one runner.Map invocation: a maximal
+// run of consecutive windows executed on one worker set. Between windows,
+// shards synchronize on an in-place barrier — each arrives by incrementing
+// a counter, the last arriver becomes the coordinator (it finishes the
+// window single-threaded, decides whether the batch continues, and releases
+// the rest by closing the release channel). All cross-shard reads are
+// ordered by the arrival counter (atomic Add observed by the coordinator's
+// Add) on the way in and by the channel close on the way out.
+type shardBatch struct {
+	se    *ShardedEngine
+	until clock.Real
+
+	hi      clock.Real    // current window's exclusive drain bound
+	release chan struct{} // closed by the coordinator to end the wait
+	stop    bool          // set before the final release: batch over
+	errs    []error       // per-shard window errors
+	next    []pendNext    // per-shard earliest pending time after the drain
+	arrived atomic.Int32
+	outSeen atomic.Bool // a shard produced cross-shard traffic this window
+	bailed  atomic.Bool // a shard panicked and force-released the barrier
+}
+
+// runShard is one shard's batch loop: drain the window, publish next-pending
+// and traffic flags, arrive, coordinate if last, wait for release. It never
+// returns before the coordinator ends the batch — a shard returning early
+// would strand its siblings at the barrier — so panics from process code or
+// window callbacks are converted to errors here, and the first panicking
+// shard force-releases the barrier exactly once.
+func (b *shardBatch) runShard(i int) (err error) {
+	e := b.se.shards[i]
+	var rel chan struct{}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sim: shard %d panicked: %v\n%s", i, p, debug.Stack())
+			if b.bailed.CompareAndSwap(false, true) {
+				b.stop = true
+				close(rel)
+			}
+		}
+	}()
+	for {
+		// Read the release channel before arriving: once the last shard
+		// arrives it may coordinate, swap in the next window's channel and
+		// close this one, so a later read would race the swap.
+		rel = b.release
+		if b.stop {
+			return b.errs[i]
+		}
+		if _, werr := e.runWindow(b.hi, b.until); werr != nil {
+			b.errs[i] = werr
+		}
+		if len(e.outbox) > 0 {
+			b.outSeen.Store(true)
+		} else {
+			for d := range e.outChunks {
+				if len(e.outChunks[d]) > 0 {
+					b.outSeen.Store(true)
+					break
+				}
+			}
+		}
+		at, ok := e.queue.peekTime()
+		b.next[i] = pendNext{at: at, ok: ok}
+		if int(b.arrived.Add(1)) == len(b.se.shards) {
+			b.coordinate(rel)
+		}
+		<-rel
+	}
+}
+
+// coordinate runs on the last-arriving shard, with every other shard parked
+// at the barrier (their pre-arrival writes are visible through the arrival
+// counter). It ends the batch — leaving the just-drained window for Run to
+// exchange and finish — when a shard errored, when cross-shard traffic
+// needs a real exchange, or when no next window fits before the horizon or
+// the step limit. Otherwise the exchange is a no-op, so it finishes the
+// window in place and opens the next one.
+func (b *shardBatch) coordinate(rel chan struct{}) {
+	se := b.se
+	for _, err := range b.errs {
+		if err != nil {
+			b.stop = true
+			close(rel)
+			return
+		}
+	}
+	if b.outSeen.Load() {
+		b.stop = true
+		close(rel)
+		return
+	}
+	var m clock.Real
+	any := false
+	for _, p := range b.next {
+		if p.ok && (!any || p.at < m) {
+			m = p.at
+			any = true
+		}
+	}
+	if !any || m > b.until || se.Steps() >= se.maxSteps {
+		b.stop = true
+		close(rel)
+		return
+	}
+	se.finishWindow(b.hi, b.until)
+	se.stats.BatchedWindows++
+	b.hi = m + clock.Real(se.lookahead)
+	b.outSeen.Store(false)
+	b.arrived.Store(0)
+	b.release = make(chan struct{})
+	close(rel)
+}
+
+// finishWindow completes one drained (and, if needed, exchanged) window:
+// advance the cut, dispatch the buffered annotations in merged order, fire
+// the window samplers, then the OnWindow hook. Single-threaded — called by
+// Run behind the batch join, or by the coordinator while every other shard
+// is parked at the barrier.
+func (se *ShardedEngine) finishWindow(hi, until clock.Real) {
+	cut := hi
+	if until < cut {
+		cut = until
+	}
+	se.stats.Windows++
+	se.now = cut
+	se.dispatchAnnotations()
+	if len(se.samplers) > 0 {
+		// Shard 0's engine carries the full clock/correction view and its
+		// now equals the cut, so samplers read it exactly as they would the
+		// sequential engine at a sample point.
+		e0 := se.shards[0]
+		for _, s := range se.samplers {
+			s.Sample(e0, false)
+		}
+	}
+	if se.OnWindow != nil {
+		se.OnWindow(se, cut)
+	}
+}
+
+// dispatchAnnotations merges the shards' buffered annotations and replays
+// them to the registered sinks in (At, Proc) order — deterministic for
+// every shard count: each process lives on exactly one shard and its buffer
+// is in emission order, which the stable sort preserves within equal keys.
+func (se *ShardedEngine) dispatchAnnotations() {
+	if len(se.annotSinks) == 0 {
+		return
+	}
+	buf := se.annotMerge[:0]
+	for _, e := range se.shards {
+		buf = append(buf, e.annotBuf...)
+		e.annotBuf = e.annotBuf[:0]
+	}
+	se.annotMerge = buf[:0]
+	if len(buf) == 0 {
+		return
+	}
+	slices.SortStableFunc(buf, func(a, b Annotation) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Proc) - int(b.Proc)
+	})
+	e0 := se.shards[0]
+	for i := range buf {
+		for _, s := range se.annotSinks {
+			s.OnAnnotation(e0, buf[i])
+		}
+		buf[i] = Annotation{}
+	}
+}
+
 // Run executes windows until no shard holds an event at or before until, or
 // the step limit is hit. Like Engine.Run it may be called repeatedly with
-// increasing horizons; OnWindow fires once per window barrier.
+// increasing horizons; OnWindow and the observers fire once per window.
 func (se *ShardedEngine) Run(until clock.Real) error {
+	k := len(se.shards)
+	b := &shardBatch{
+		se:    se,
+		until: until,
+		errs:  make([]error, k),
+		next:  make([]pendNext, k),
+	}
 	for {
 		m, any := se.minPending()
 		if !any || m > until {
@@ -261,30 +541,32 @@ func (se *ShardedEngine) Run(until clock.Real) error {
 		if se.Steps() >= se.maxSteps {
 			return fmt.Errorf("sim: step limit %d exceeded at t=%v", se.maxSteps, se.now)
 		}
-		hi := m + clock.Real(se.lookahead)
-		if _, err := runner.Map(se.workers, len(se.shards), func(i int) (int, error) {
-			return se.shards[i].runWindow(hi, until)
+		b.hi = m + clock.Real(se.lookahead)
+		b.stop = false
+		b.outSeen.Store(false)
+		b.bailed.Store(false)
+		b.arrived.Store(0)
+		b.release = make(chan struct{})
+		for i := range b.errs {
+			b.errs[i] = nil
+		}
+		se.stats.Barriers++
+		if _, err := runner.Map(se.workers, k, func(i int) (struct{}, error) {
+			return struct{}{}, b.runShard(i)
 		}); err != nil {
 			return err
 		}
-		if err := se.exchange(hi); err != nil {
+		if err := se.exchange(b.hi); err != nil {
 			return err
 		}
-		se.windows++
-		cut := hi
-		if until < cut {
-			cut = until
-		}
-		se.now = cut
-		if se.OnWindow != nil {
-			se.OnWindow(se, cut)
-		}
+		se.finishWindow(b.hi, until)
 	}
 }
 
 // exchange moves the window's cross-shard traffic — eager/unicast events
 // and lazy broadcast chunks — into the destination shards' queues.
-// Single-threaded; runs at every window barrier.
+// Single-threaded; runs once per batch, for the window that produced the
+// traffic (batched windows produced none, so their exchange is skipped).
 func (se *ShardedEngine) exchange(hi clock.Real) error {
 	for _, src := range se.shards {
 		for i := range src.outbox {
@@ -306,7 +588,11 @@ func (se *ShardedEngine) exchange(hi clock.Real) error {
 						ch.from, ch.copies[0].at, hi)
 				}
 				dst.queue.adoptBroadcast(ch)
-				*ch = bcastChunk{}
+				// Ownership of the copies slice moved to dst's record store
+				// (it returns to dst's copy pool on exhaustion); the chunk
+				// struct itself is reused in place next window.
+				ch.copies = nil
+				ch.payload = nil
 			}
 			src.outChunks[d] = src.outChunks[d][:0]
 		}

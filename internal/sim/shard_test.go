@@ -18,6 +18,7 @@ type shardBeacon struct {
 	corr   clock.Local
 	digest uint64
 	count  int
+	mute   bool // fold deliveries but never send (zero-sender topology)
 }
 
 func (b *shardBeacon) Corr() clock.Local { return b.corr }
@@ -37,7 +38,7 @@ func (b *shardBeacon) Receive(ctx *Context, m Message) {
 	mix(math.Float64bits(float64(m.SentAt)))
 	b.digest = h
 	b.count++
-	if m.Kind == KindOrdinary {
+	if m.Kind == KindOrdinary || b.mute {
 		return
 	}
 	ctx.Broadcast(nil)
@@ -128,11 +129,13 @@ func equalShardRuns(a, b *shardRun) (string, bool) {
 }
 
 // TestShardedDeterminism is the determinism oracle of the sharded engine:
-// the same system run across 1, 2, 4 and 8 shards must produce identical
+// the same system run across 1, 2, 4, 8 and 16 shards must produce identical
 // per-process delivery digests, engine totals, window counts, and
 // barrier-sampled spread traces. Per-sender RNG streams and packed sequence
 // keys are exactly what this pins — any leak of shard-local state into
-// delay sampling or tie-break order diverges the digests.
+// delay sampling or tie-break order diverges the digests. Window batching
+// must not disturb it either: the cut sequence (and so the spread trace) is
+// defined by the global minimum pending time, however many barriers ran.
 func TestShardedDeterminism(t *testing.T) {
 	const n = 64
 	horizon := clock.Real(0.012)
@@ -141,11 +144,50 @@ func TestShardedDeterminism(t *testing.T) {
 	if base.steps < 5*n*n {
 		t.Fatalf("only %d steps — not a meaningful workload", base.steps)
 	}
-	for _, k := range []int{2, 4, 8} {
+	for _, k := range []int{2, 4, 8, 16} {
 		got := runSharded(t, shardWorkload(n, delay, nil), k, horizon)
 		if what, ok := equalShardRuns(base, got); !ok {
 			t.Fatalf("k=%d diverges from k=1 in %s", k, what)
 		}
+	}
+}
+
+// TestShardedBatching pins the window-batching machinery: delivery-only
+// windows (no cross-shard traffic anywhere) must complete inside a batch
+// instead of paying a worker-set respawn, and the counters must reconcile.
+// The beacon workload has the round structure batching exists for — one
+// window per period carries the broadcasts, the following windows only
+// deliver — so a run where batching never fires is a regression.
+func TestShardedBatching(t *testing.T) {
+	const n = 64
+	se, err := NewSharded(shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Run(0.012); err != nil {
+		t.Fatal(err)
+	}
+	st := se.Stats()
+	if st.Windows != st.Barriers+st.BatchedWindows {
+		t.Fatalf("stats do not reconcile: windows=%d barriers=%d batched=%d", st.Windows, st.Barriers, st.BatchedWindows)
+	}
+	if st.BatchedWindows == 0 {
+		t.Fatalf("batching never fired over %d windows (%d barriers)", st.Windows, st.Barriers)
+	}
+	if st.Windows != se.Windows() {
+		t.Fatalf("Windows() = %d, stats say %d", se.Windows(), st.Windows)
+	}
+	// A single-shard run has no cross-shard traffic at all, so the whole
+	// execution must collapse into one batch per Run call.
+	se1, err := NewSharded(shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se1.Run(0.012); err != nil {
+		t.Fatal(err)
+	}
+	if st1 := se1.Stats(); st1.Barriers != 1 {
+		t.Fatalf("k=1 run took %d barriers for %d windows; want 1", st1.Barriers, st1.Windows)
 	}
 }
 
@@ -241,19 +283,266 @@ func TestNewShardedValidation(t *testing.T) {
 	}
 }
 
+// annotBeacon is a shardBeacon that also emits an annotation on every
+// delivery, exercising the sharded annotation capture/merge path.
+type annotBeacon struct {
+	shardBeacon
+}
+
+func (b *annotBeacon) Receive(ctx *Context, m Message) {
+	b.shardBeacon.Receive(ctx, m)
+	ctx.Annotate("tick", float64(b.count))
+}
+
+// annotWorkload is shardWorkload with annotating beacons.
+func annotWorkload(n int, delay DelayModel) Config {
+	cfg := shardWorkload(n, delay, nil)
+	for i := range cfg.Procs {
+		b := cfg.Procs[i].(*shardBeacon)
+		cfg.Procs[i] = &annotBeacon{shardBeacon: *b}
+	}
+	return cfg
+}
+
+// windowProbe records everything the sharded observer path hands it.
+type windowProbe struct {
+	samples []float64
+	annots  []Annotation
+}
+
+func (p *windowProbe) Sample(e *Engine, _ bool) {
+	lo, hi, _ := e.LocalTimeSpread(e.Now())
+	p.samples = append(p.samples, float64(hi-lo))
+}
+
+func (p *windowProbe) OnAnnotation(_ *Engine, a Annotation) {
+	p.annots = append(p.annots, a)
+}
+
+// deliverySpy implements only the per-delivery interface, which sharded
+// mode must reject.
+type deliverySpy struct{}
+
+func (deliverySpy) OnDeliver(*Engine, Message) {}
+
+// TestShardedObservers pins the v2 observer support: Sampler and
+// AnnotationSink observers fire at window barriers with traces that are
+// byte-identical across shard counts (samples at every cut; annotations in
+// merged (At, Proc) order with per-process emission order preserved), and
+// per-delivery observers are rejected with a useful error.
+func TestShardedObservers(t *testing.T) {
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	const n = 48
+	run := func(k int) *windowProbe {
+		se, err := NewSharded(annotWorkload(n, delay), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &windowProbe{}
+		if err := se.Observe(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := se.Run(0.01); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := run(1)
+	if len(base.samples) == 0 || len(base.annots) == 0 {
+		t.Fatalf("observer saw nothing: %d samples, %d annotations", len(base.samples), len(base.annots))
+	}
+	for i := 1; i < len(base.annots); i++ {
+		a, b := base.annots[i-1], base.annots[i]
+		if b.At < a.At || (b.At == a.At && b.Proc < a.Proc) {
+			t.Fatalf("annotations out of (At, Proc) order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, k := range []int{2, 6, 8} {
+		got := run(k)
+		if len(got.samples) != len(base.samples) {
+			t.Fatalf("k=%d: %d samples, k=1 had %d", k, len(got.samples), len(base.samples))
+		}
+		for i := range base.samples {
+			if got.samples[i] != base.samples[i] {
+				t.Fatalf("k=%d sample %d diverges: %v vs %v", k, i, got.samples[i], base.samples[i])
+			}
+		}
+		if len(got.annots) != len(base.annots) {
+			t.Fatalf("k=%d: %d annotations, k=1 had %d", k, len(got.annots), len(base.annots))
+		}
+		for i := range base.annots {
+			if got.annots[i] != base.annots[i] {
+				t.Fatalf("k=%d annotation %d diverges: %+v vs %+v", k, i, got.annots[i], base.annots[i])
+			}
+		}
+	}
+
+	se, err := NewSharded(shardWorkload(8, delay, nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Observe(deliverySpy{}); err == nil {
+		t.Fatal("per-delivery observer accepted")
+	} else if !strings.Contains(err.Error(), "per-delivery") {
+		t.Fatalf("rejection %q does not explain the per-delivery restriction", err)
+	}
+	if err := se.Observe(struct{ Observer }{}); err == nil {
+		t.Fatal("non-observer accepted")
+	}
+}
+
+// TestShardedEventHintScaling is the calendar pre-sizing regression test: a
+// caller-supplied whole-system EventHint must be scaled down to the shard's
+// own share, not passed through — the old behavior oversized every shard's
+// queue stores k-fold.
+func TestShardedEventHintScaling(t *testing.T) {
+	const n, k = 1024, 8
+	cfg := shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil)
+	cfg.EventHint = n*n + 2*n + 8 // the whole-system eager figure exp.Run would pass
+	se, err := NewSharded(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		got := se.Shard(i).queue.eventHint
+		if got >= cfg.EventHint/2 {
+			t.Fatalf("shard %d hint %d is not scaled down from the whole-system %d", i, got, cfg.EventHint)
+		}
+		if got < n {
+			t.Fatalf("shard %d hint %d cannot cover one head per in-flight fan-out (n=%d)", i, got, n)
+		}
+	}
+	// The per-shard defaults (hint unset) must likewise be per-shard sized.
+	cfg2 := shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil)
+	se2, err := NewSharded(cfg2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := se2.Shard(0).queue.eventHint; got > 8*n {
+		t.Fatalf("default lazy per-shard hint %d is system-sized (n=%d)", got, n)
+	}
+}
+
+// TestShardedTopologyEdges walks the partition edge cases: one process per
+// shard (k = n), more shards than processes (rejected), everything on one
+// shard (k = 1), a shard whose processes never send, and start times spread
+// wider than the lookahead so early windows hold events for only some
+// shards (other shards drain empty windows).
+func TestShardedTopologyEdges(t *testing.T) {
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	t.Run("one process per shard", func(t *testing.T) {
+		const n = 8
+		base := runSharded(t, shardWorkload(n, delay, nil), 1, 0.01)
+		got := runSharded(t, shardWorkload(n, delay, nil), n, 0.01)
+		if what, ok := equalShardRuns(base, got); !ok {
+			t.Fatalf("k=n diverges from k=1 in %s", what)
+		}
+	})
+	t.Run("more shards than processes", func(t *testing.T) {
+		_, err := NewSharded(shardWorkload(4, delay, nil), 5)
+		if err == nil || !strings.Contains(err.Error(), "shards") {
+			t.Fatalf("k>n not rejected: %v", err)
+		}
+	})
+	t.Run("zero-sender shard", func(t *testing.T) {
+		mute := func() Config {
+			cfg := shardWorkload(12, delay, nil)
+			for i := 9; i < 12; i++ { // the k=4 partition's last block
+				cfg.Procs[i].(*shardBeacon).mute = true
+			}
+			return cfg
+		}
+		base := runSharded(t, mute(), 1, 0.01)
+		got := runSharded(t, mute(), 4, 0.01)
+		if base.steps == 0 {
+			t.Fatal("empty workload")
+		}
+		if what, ok := equalShardRuns(base, got); !ok {
+			t.Fatalf("zero-sender shard diverges in %s", what)
+		}
+	})
+	t.Run("starts wider than lookahead", func(t *testing.T) {
+		wide := func() Config {
+			cfg := shardWorkload(9, delay, nil)
+			for i := range cfg.StartAt {
+				// 3 windows' worth of spread between consecutive shards:
+				// while shard 0 runs its START windows the others are empty.
+				cfg.StartAt[i] = clock.Real(i/3) * 1e-3
+			}
+			return cfg
+		}
+		base := runSharded(t, wide(), 1, 0.01)
+		got := runSharded(t, wide(), 3, 0.01)
+		if what, ok := equalShardRuns(base, got); !ok {
+			t.Fatalf("wide starts diverge in %s", what)
+		}
+	})
+}
+
+// TestShardedSeqPacking pins the dynamic packed-key bit split that lifted
+// the n ≤ 8192 cap: the split is sized from n alone (so it cannot vary with
+// the shard count), keys order by (from, sidx, to), the send-index field is
+// overflow-guarded, and the new cap is enforced.
+func TestShardedSeqPacking(t *testing.T) {
+	delay := UniformDelay{Delta: 4e-4, Eps: 1e-4}
+	se, err := NewSharded(shardWorkload(10, delay, nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := se.Shard(0)
+	if e.seqToBits != 4 || e.seqFromShift != 59 {
+		t.Fatalf("n=10 split: toBits=%d fromShift=%d, want 4/59", e.seqToBits, e.seqFromShift)
+	}
+	if want := uint64(1)<<55 - 1; e.sidxMax != want {
+		t.Fatalf("sidxMax = %d, want %d", e.sidxMax, want)
+	}
+	if got, want := e.packSeq(3, 5, 7), uint64(3)<<59|5<<4|7; got != want {
+		t.Fatalf("packSeq(3,5,7) = %x, want %x", got, want)
+	}
+	// Lexicographic (from, sidx, to) order must map to key order.
+	keys := []uint64{
+		e.packSeq(0, 0, 0), e.packSeq(0, 0, 9), e.packSeq(0, 1, 0),
+		e.packSeq(1, 0, 3), e.packSeq(9, 2, 2),
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("key order broken at %d: %x then %x", i, keys[i-1], keys[i])
+		}
+	}
+	if top := e.packSeq(9, e.sidxMax, 9); top&(1<<63) != 0 {
+		t.Fatalf("maximal key %x collides with the calendar TIMER bit", top)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("send-index overflow not caught")
+			}
+		}()
+		e.packSeq(0, e.sidxMax+1, 0)
+	}()
+
+	// The cap itself: 2^17 processes fit, one more is rejected before any
+	// engine is built (so nil procs are fine here).
+	over := Config{Procs: make([]Process, maxShardProcs+1), Delay: delay}
+	if _, err := NewSharded(over, 2); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("n > %d not rejected: %v", maxShardProcs, err)
+	}
+}
+
 // TestShardedStress is the -race workout for the parallel window drain: a
-// larger mesh across the full worker fan-out, long enough that every shard
-// crosses into calendar-queue territory and thousands of windows' worth of
-// cross-shard chunks move through exchange. Correctness assertions are
-// minimal — the value of this test is running the real concurrent path
-// under the race detector (CI runs the package with -race).
+// n=192, k=4 mesh long enough that every shard crosses into calendar-queue
+// territory and thousands of windows' worth of cross-shard chunks move
+// through the pooled exchange. Correctness assertions are minimal — the
+// value of this test is running the real concurrent path (batched barriers,
+// copy-pool recycling, observer dispatch) under the race detector; the main
+// CI workflow invokes it by name as the sharded race smoke.
 func TestShardedStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test: skipped under -short")
 	}
 	const n = 192
 	cfg := shardWorkload(n, UniformDelay{Delta: 4e-4, Eps: 1e-4}, nil)
-	se, err := NewSharded(cfg, 8)
+	se, err := NewSharded(cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

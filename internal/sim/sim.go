@@ -279,13 +279,26 @@ type Engine struct {
 	// engine owns, and cross-shard traffic accumulates in outbox (eager
 	// copies, unicasts) and outChunks (lazy fan-out slices per destination
 	// shard) until the window barrier exchanges it.
-	detSeq    bool
-	sidx      []uint64 // per-sender send index feeding packed sequence keys
-	senderRNG []RNG
-	local     []bool
-	shardOf   []int32
-	outbox    []event
-	outChunks [][]bcastChunk
+	detSeq     bool
+	sidx       []uint64 // per-sender send index feeding packed sequence keys
+	senderRNG  []RNG
+	local      []bool
+	shardOf    []int32
+	shardProcs []int32 // processes per shard (chunk capacity hint)
+	outbox     []event
+	outChunks  [][]bcastChunk
+	// Packed-key bit split, sized to the system at NewSharded: a key is
+	// from(seqToBits′)|sidx|to(seqToBits) with seqFromShift = 63−seqToBits;
+	// sidxMax guards the send-index field (see Engine.packSeq).
+	seqToBits    uint
+	seqFromShift uint
+	sidxMax      uint64
+
+	// Sharded annotation capture: when the ShardedEngine has annotation
+	// sinks, per-delivery annotations buffer here (reused across windows)
+	// and dispatch in merged deterministic order at the window cut.
+	annotCapture bool
+	annotBuf     []Annotation
 
 	// Cached nonfaulty local-time spread for the current sample point.
 	// Several observers (skew recorder, validity recorder, the invariant
@@ -327,9 +340,11 @@ func New(cfg Config) (*Engine, error) {
 // the engine to deterministic (packed) sequence numbers and per-sender delay
 // streams so executions are independent of the shard count.
 type shardSetup struct {
-	local  []bool
-	owner  []int32
-	shards int
+	local      []bool
+	owner      []int32
+	shards     int
+	shardProcs []int32
+	procBits   int // bit width of a ProcID in packed sequence keys
 }
 
 func newEngine(cfg Config, sh *shardSetup) (*Engine, error) {
@@ -418,7 +433,11 @@ func newEngine(cfg Config, sh *shardSetup) (*Engine, error) {
 		}
 		e.local = sh.local
 		e.shardOf = sh.owner
+		e.shardProcs = sh.shardProcs
 		e.outChunks = make([][]bcastChunk, sh.shards)
+		e.seqToBits = uint(sh.procBits)
+		e.seqFromShift = uint(63 - sh.procBits)
+		e.sidxMax = uint64(1)<<(63-2*sh.procBits) - 1
 	}
 	// Pre-size the queue's backing stores for the expected peak population
 	// under the resolved broadcast mode (see Config.EventHint), unless the
@@ -658,6 +677,12 @@ func (e *Engine) annotate(p ProcID, tag string, v float64) {
 	// is stale for sinks that read clocks now.
 	e.spreadOK = false
 	a := Annotation{At: e.now, Proc: p, Tag: tag, Value: v}
+	if e.annotCapture {
+		// Sharded execution: buffer for deterministic merged dispatch at
+		// the window cut (see ShardedEngine.dispatchAnnotations).
+		e.annotBuf = append(e.annotBuf, a)
+		return
+	}
 	for _, s := range e.annots {
 		s.OnAnnotation(e, a)
 	}
@@ -702,7 +727,7 @@ func (e *Engine) Broadcast(from ProcID, payload any) {
 		ev.msg.To = ProcID(q)
 		ev.msg.DeliverAt = at[q]
 		if e.detSeq {
-			ev.seq = packShardSeq(from, sidx, ProcID(q))
+			ev.seq = e.packSeq(from, sidx, ProcID(q))
 		} else {
 			ev.seq = e.seq
 			e.seq++
@@ -725,7 +750,7 @@ func (e *Engine) Broadcast(from ProcID, payload any) {
 func (e *Engine) broadcastLazy(from ProcID, payload any, at []clock.Real, ok []bool, sidx uint64) {
 	seqBase := e.seq
 	if e.detSeq {
-		seqBase = packShardSeq(from, sidx, 0)
+		seqBase = e.packSeq(from, sidx, 0)
 	}
 	delivered := uint64(0)
 	for q := range ok {
@@ -767,9 +792,17 @@ func (e *Engine) chunkRemote(from ProcID, payload any, at []clock.Real, ok []boo
 		d := e.shardOf[q]
 		cl := e.outChunks[d]
 		if len(cl) == 0 || cl[len(cl)-1].from != from || cl[len(cl)-1].seqBase != seqBase {
+			// Chunk copies recycle through the shard's copy pool: adopted
+			// chunks return their capacity on exhaustion (advanceBcast), and
+			// cross-shard traffic is symmetric enough that the pool feeds the
+			// outgoing side — steady-state windows allocate no chunk storage.
+			copies := e.queue.takeCopySlice()
+			if copies == nil {
+				copies = make([]bcopy, 0, e.shardProcs[d])
+			}
 			cl = append(cl, bcastChunk{
 				from: from, sentAt: e.now, payload: payload,
-				seqBase: seqBase, det: true,
+				seqBase: seqBase, det: true, copies: copies,
 			})
 		}
 		ch := &cl[len(cl)-1]
@@ -799,7 +832,7 @@ func (e *Engine) send(from, to ProcID, payload any) {
 	e.msgsSent++
 	m := Message{From: from, To: to, Kind: KindOrdinary, Payload: payload, SentAt: e.now, DeliverAt: at}
 	if e.detSeq {
-		ev := event{msg: m, seq: packShardSeq(from, sidx, to)}
+		ev := event{msg: m, seq: e.packSeq(from, sidx, to)}
 		if e.local != nil && !e.local[to] {
 			e.outbox = append(e.outbox, ev)
 		} else {

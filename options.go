@@ -60,6 +60,7 @@ type options struct {
 	k             int
 	stagger       float64
 	seed          int64
+	shards        int
 	initialSpread float64
 	skewBucket    clock.Real
 	delayDist     DelayDistribution
@@ -137,6 +138,15 @@ func WithStagger(sigma float64) Option { return func(o *options) { o.stagger = s
 
 // WithSeed makes the run reproducible under a different randomness stream.
 func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithShards runs the simulation on the sharded time-window engine,
+// partitioning the processes across k shards that drain conservative
+// lookahead windows in parallel (see README "Sharded execution for large
+// n"). The execution — every delivery, every measured quantity — is
+// byte-identical for every k, so the knob trades nothing but hardware.
+// Features the sharded engine rejects (an adversary strategy, per-delivery
+// tracing) fail Run with a clear error; k ≤ 1 means the sequential engine.
+func WithShards(k int) Option { return func(o *options) { o.shards = k } }
 
 // WithInitialSpread spreads the initial logical clocks over the given real
 // width (default 0.9β; pass more to watch convergence from out-of-spec

@@ -62,8 +62,8 @@ func buildReport(cfg core.Config, res *exp.Result, rj *core.Rejoiner) *Report {
 		MaxAdjustment:     res.Rounds.MaxAbsAdj(0),
 		AdjBound:          cfg.AdjBound(),
 		ValidityViolation: res.Validity.WorstViolation(),
-		MessagesSent:      res.Engine.MessagesSent(),
-		MessagesLost:      res.Engine.MessagesLost(),
+		MessagesSent:      res.MessagesSent(),
+		MessagesLost:      res.MessagesLost(),
 		SkewSeries:        res.Skew.Series(),
 	}
 	if rj != nil {
