@@ -185,7 +185,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 // heap and eager materialization as baselines, and the peak-queue-events
 // metric exposes the O(n²) → O(n) population drop directly. The sharded
 // sub-benchmarks run the same workload across k worker shards
-// (time-window synchronization at lookahead δ−ε).
+// (time-window synchronization at lookahead δ−ε), and the -hier one swaps
+// the flat mesh for the two-tier hierarchy (clusters of 32, internal/hier):
+// same rounds, ≈ 3% of the per-round traffic (msgs-per-round records it).
 func BenchmarkLargeN(b *testing.B) {
 	b.Run("n=31", bench.LargeN(31, sim.SchedulerAuto, sim.BroadcastAuto))
 	b.Run("n=101", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastAuto))
@@ -195,6 +197,7 @@ func BenchmarkLargeN(b *testing.B) {
 	b.Run("n=101-eager", bench.LargeN(101, sim.SchedulerAuto, sim.BroadcastEager))
 	b.Run("n=1009-eager", bench.LargeN(1009, sim.SchedulerAuto, sim.BroadcastEager))
 	b.Run("n=1009-sharded-k=8", bench.LargeNSharded(1009, 8))
+	b.Run("n=1009-hier", bench.LargeNHier(1009, 32))
 }
 
 // BenchmarkApproxAgreementRound measures one synchronous approximate

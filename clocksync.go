@@ -33,6 +33,7 @@ package clocksync
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/analysis"
@@ -40,6 +41,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/faults"
+	"repro/internal/hier"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -49,6 +52,7 @@ type Cluster struct {
 	cfg      core.Config
 	opts     options
 	rejoiner *core.Rejoiner
+	hier     *hier.Config // non-nil for TopologyTwoTier
 }
 
 // New configures a cluster of n processes tolerating f Byzantine faults
@@ -59,6 +63,9 @@ func New(n, f int, opts ...Option) (*Cluster, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.topology == TopologyTwoTier {
+		return newTwoTier(n, f, o)
 	}
 	params := analysis.Params{
 		N: n, F: f,
@@ -107,7 +114,72 @@ func New(n, f int, opts ...Option) (*Cluster, error) {
 	return &Cluster{cfg: cfg, opts: o}, nil
 }
 
-// Params returns the validated parameter set in effect.
+// newTwoTier configures a two-tier hierarchical Cluster (WithTopology /
+// WithClusters). The composition owns its substrates, fault slots and
+// measurement hooks, so the options that configure the flat mesh's single
+// substrate are rejected by name rather than silently reinterpreted.
+func newTwoTier(n, f int, o options) (*Cluster, error) {
+	switch {
+	case o.deltaSet:
+		return nil, fmt.Errorf("clocksync: WithDelay configures the flat mesh's single substrate; a two-tier topology runs on its own (δ_in, ε_in)/(δ_out, ε_out) pair — drop WithDelay or WithTopology")
+	case o.betaSet:
+		return nil, fmt.Errorf("clocksync: WithBeta configures the flat mesh's initial closeness; a two-tier topology derives both tiers' A4 spreads — drop WithBeta or WithTopology")
+	case o.deriveBeta:
+		return nil, fmt.Errorf("clocksync: WithDerivedBeta applies to the flat mesh's single parameter set; a two-tier topology derives both tiers' spreads itself — drop WithDerivedBeta or WithTopology")
+	case o.averager == Mean:
+		return nil, fmt.Errorf("clocksync: WithAveraging(Mean) is not plumbed through the two-tier composition (both tiers run midpoint) — drop WithAveraging or WithTopology")
+	case o.k > 1:
+		return nil, fmt.Errorf("clocksync: WithKExchanges applies to the flat single-instance round; two-tier rounds are single-exchange per tier — drop WithKExchanges or WithTopology")
+	case o.stagger > 0:
+		return nil, fmt.Errorf("clocksync: WithStagger applies to the flat mesh's broadcast; two-tier traffic is already clustered unicast — drop WithStagger or WithTopology")
+	case o.delayDist != DelayUniform:
+		return nil, fmt.Errorf("clocksync: WithDelayDistribution configures the flat mesh's delay model; a two-tier topology uses its clustered two-band model — drop WithDelayDistribution or WithTopology")
+	case o.randomDrift:
+		return nil, fmt.Errorf("clocksync: WithRandomDrift is not plumbed through the two-tier builder (constant ρ-bounded rates) — drop WithRandomDrift or WithTopology")
+	case o.initialSpread != 0:
+		return nil, fmt.Errorf("clocksync: WithInitialSpread overrides the flat mesh's A4 spread; a two-tier topology derives a spread satisfying both tiers at once — drop WithInitialSpread or WithTopology")
+	case o.skewBucket != 0:
+		return nil, fmt.Errorf("clocksync: WithSkewSeries is not recorded for two-tier runs — drop WithSkewSeries or WithTopology")
+	case len(o.faults) > 0:
+		return nil, fmt.Errorf("clocksync: WithFault fills the flat mesh's fault slots; two-tier fault injection lives in experiment E20 — drop WithFault or WithTopology")
+	case o.adversary != "":
+		return nil, fmt.Errorf("clocksync: WithAdversary(%q) targets the flat mesh; two-tier fault injection lives in experiment E20 — drop WithAdversary or WithTopology", o.adversary)
+	case o.rejoinID >= 0:
+		return nil, fmt.Errorf("clocksync: WithRejoiner applies to the flat mesh's §9.1 path — drop WithRejoiner or WithTopology")
+	case o.traceLimit > 0:
+		return nil, fmt.Errorf("clocksync: WithTrace renders the flat action log — drop WithTrace or WithTopology")
+	}
+	c := o.clusterSize
+	if c <= 0 {
+		// c ≈ √n minimizes the n·c + (n/c)² traffic terms.
+		c = int(math.Round(math.Sqrt(float64(n))))
+		if c < 1 {
+			c = 1
+		}
+	}
+	if c > n {
+		return nil, fmt.Errorf("clocksync: cluster size %d exceeds n = %d", c, n)
+	}
+	hcfg := hier.Default(n, c)
+	hcfg.Rho = o.rho
+	hcfg.P = o.roundLength
+	hcfg.ElectAfter = 2.5 * o.roundLength
+	hcfg.T0 = o.t0
+	if f > 0 {
+		// In two-tier mode f bounds the Byzantine representatives (f_out);
+		// 0 keeps the largest budget the cluster count supports. The
+		// per-cluster budget f_in always comes from the cluster size.
+		hcfg.FOut = f
+	}
+	if err := hcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	return &Cluster{cfg: core.Config{Params: hcfg.InnerParams(0)}, opts: o, hier: &hcfg}, nil
+}
+
+// Params returns the validated parameter set in effect. For a two-tier
+// Cluster this is the inner tier's (per-cluster) parameter set; the outer
+// tier's parameters are internal to the composition.
 func (c *Cluster) Params() analysis.Params { return c.cfg.Params }
 
 // Run simulates the given number of synchronization rounds and reports the
@@ -115,6 +187,9 @@ func (c *Cluster) Params() analysis.Params { return c.cfg.Params }
 func (c *Cluster) Run(rounds int) (*Report, error) {
 	if rounds <= 0 {
 		return nil, fmt.Errorf("clocksync: rounds must be positive, got %d", rounds)
+	}
+	if c.hier != nil {
+		return c.runTwoTier(rounds)
 	}
 	w := exp.Workload{
 		Cfg:           c.cfg,
@@ -180,6 +255,104 @@ func (c *Cluster) Run(rounds int) (*Report, error) {
 		rep.Trace = b.String()
 	}
 	return rep, nil
+}
+
+// runTwoTier simulates the two-tier hierarchy for `rounds` inner rounds.
+// With WithShards the clusters' inner rounds drain in parallel behind the
+// sharded engine's window barriers (results identical for every shard
+// count); the skew and the runtime hier-agreement invariant are sampled at
+// window cuts either way.
+func (c *Cluster) runTwoTier(rounds int) (*Report, error) {
+	hcfg := *c.hier
+	s, err := hier.Build(hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("clocksync: %w", err)
+	}
+	scfg := s.SimConfig(rounds, c.opts.seed)
+	warm := s.Warmup(rounds)
+	horizon := s.Horizon(rounds)
+	skew := &hierSkew{warm: warm}
+	chk := invariant.NewHierAgreement(hcfg.GammaComposed(), hcfg.GammaInner(), hcfg.ClusterSize, warm)
+	rep := &Report{
+		TwoTier:     true,
+		Clusters:    hcfg.Clusters(),
+		ClusterSize: hcfg.ClusterSize,
+		Gamma:       hcfg.GammaComposed(),
+	}
+	if c.opts.shards > 1 {
+		se, err := sim.NewSharded(scfg, c.opts.shards)
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		// Both observers are Samplers, so the sharded engine fires them at
+		// its window cuts — the same instants OnWindow sees — and shard
+		// engines hold the full clock and correction arrays, so the spread
+		// they read is the whole system's.
+		if err := se.Observe(chk); err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		if err := se.Observe(skew); err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		if err := se.Run(horizon); err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		lo, hi, count := se.LocalTimeSpread(horizon)
+		skew.record(horizon, lo, hi, count)
+		rep.MessagesSent, rep.MessagesLost = se.MessagesSent(), se.MessagesLost()
+	} else {
+		e, err := sim.New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		e.Observe(chk)
+		e.Observe(skew)
+		if err := e.Run(horizon); err != nil {
+			return nil, fmt.Errorf("clocksync: %w", err)
+		}
+		rep.MessagesSent, rep.MessagesLost = e.MessagesSent(), e.MessagesLost()
+	}
+	rep.InnerAgreementOK = chk.Ok()
+	minRound := -1
+	for _, p := range s.Procs {
+		if m, ok := p.(*hier.Member); ok {
+			if r := m.Round(); minRound < 0 || r < minRound {
+				minRound = r
+			}
+		}
+	}
+	rep.Rounds = minRound
+	rep.MaxSkew, rep.SteadySkew = skew.max, skew.steady
+	return rep, nil
+}
+
+// hierSkew tracks the all-time and post-warmup nonfaulty local-time spread
+// maxima; it samples at the engine's sample points (sequential) or window
+// cuts (sharded).
+type hierSkew struct {
+	warm        clock.Real
+	max, steady float64
+}
+
+var _ sim.Sampler = (*hierSkew)(nil)
+
+// Sample implements sim.Sampler.
+func (h *hierSkew) Sample(e *sim.Engine, _ bool) {
+	lo, hi, count := e.LocalTimeSpread(e.Now())
+	h.record(e.Now(), lo, hi, count)
+}
+
+func (h *hierSkew) record(t clock.Real, lo, hi clock.Local, count int) {
+	if count < 2 {
+		return
+	}
+	d := float64(hi - lo)
+	if d > h.max {
+		h.max = d
+	}
+	if t >= h.warm && d > h.steady {
+		h.steady = d
+	}
 }
 
 func (c *Cluster) faultBuilder(kind FaultKind) func() sim.Process {

@@ -288,3 +288,96 @@ func TestWithTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestTwoTierRun drives the two-tier hierarchy through the facade, both
+// sequential and sharded, and checks the composed report plus determinism
+// of the execution itself (message count) across the engines.
+func TestTwoTierRun(t *testing.T) {
+	run := func(shards int) *clocksync.Report {
+		t.Helper()
+		opts := []clocksync.Option{clocksync.WithClusters(6)}
+		if shards > 1 {
+			opts = append(opts, clocksync.WithShards(shards))
+		}
+		c, err := clocksync.New(60, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq := run(1)
+	if !seq.TwoTier || seq.Clusters != 10 || seq.ClusterSize != 6 {
+		t.Fatalf("topology fields wrong: %+v", seq)
+	}
+	if !seq.AgreementHolds() {
+		t.Errorf("composed agreement violated: steady %v vs γ_composed %v", seq.SteadySkew, seq.Gamma)
+	}
+	if !seq.InnerAgreementOK {
+		t.Error("hier-agreement invariant violated in a benign run")
+	}
+	if seq.Rounds < 6 {
+		t.Errorf("completed %d rounds, want ≥ 6", seq.Rounds)
+	}
+	s := seq.String()
+	for _, want := range []string{"two-tier", "γ_composed", "hier-agreement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+	sh := run(4)
+	if sh.MessagesSent != seq.MessagesSent {
+		t.Errorf("sharded run sent %d messages, sequential %d — execution diverged", sh.MessagesSent, seq.MessagesSent)
+	}
+	if !sh.AgreementHolds() || !sh.InnerAgreementOK {
+		t.Errorf("sharded composed agreement violated: %+v", sh)
+	}
+}
+
+// TestTwoTierRejections pins the named-error rejections: options that
+// configure the flat mesh must not be silently reinterpreted by a two-tier
+// topology, and the error must name the offending option.
+func TestTwoTierRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		opt  clocksync.Option
+	}{
+		{"WithDelay", clocksync.WithDelay(5e-3, 1e-3)},
+		{"WithBeta", clocksync.WithBeta(4e-3)},
+		{"WithDerivedBeta", clocksync.WithDerivedBeta()},
+		{"WithAveraging", clocksync.WithAveraging(clocksync.Mean)},
+		{"WithKExchanges", clocksync.WithKExchanges(2)},
+		{"WithStagger", clocksync.WithStagger(1e-4)},
+		{"WithDelayDistribution", clocksync.WithDelayDistribution(clocksync.DelayAdversarial)},
+		{"WithRandomDrift", clocksync.WithRandomDrift()},
+		{"WithInitialSpread", clocksync.WithInitialSpread(1e-3)},
+		{"WithSkewSeries", clocksync.WithSkewSeries(1.0)},
+		{"WithFault", clocksync.WithFault(0, clocksync.FaultSilent)},
+		{"WithAdversary", clocksync.WithAdversary("skewmax")},
+		{"WithRejoiner", clocksync.WithRejoiner(1, 3, 0.1)},
+		{"WithTrace", clocksync.WithTrace(10)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := clocksync.New(60, 0, clocksync.WithClusters(6), tc.opt)
+			if err == nil {
+				t.Fatalf("New accepted %s with a two-tier topology", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("error %q does not name %s", err, tc.name)
+			}
+		})
+	}
+	// f is f_out in two-tier mode: a budget the cluster count cannot
+	// support must be rejected by the outer tier's A2.
+	if _, err := clocksync.New(60, 5, clocksync.WithClusters(6)); err == nil {
+		t.Error("New accepted f_out = 5 with only 10 clusters (needs ≥ 16)")
+	}
+	// Oversized cluster.
+	if _, err := clocksync.New(10, 0, clocksync.WithClusters(11)); err == nil {
+		t.Error("New accepted a cluster size exceeding n")
+	}
+}

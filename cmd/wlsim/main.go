@@ -11,6 +11,8 @@
 //	wlsim -n 7 -f 2 -adversary splitter     # faulty automata from the registry
 //	wlsim -n 7 -f 0 -adversary skewmax      # adaptive delivery retiming (E18)
 //	wlsim -n 1009 -f 0 -shards 8 -rounds 10 # sharded time-window engine
+//	wlsim -n 1009 -clusters 32 -rounds 10   # two-tier hierarchy (≈ n·c + (n/c)² traffic)
+//	wlsim -n 1009 -topology two-tier -shards 8 -rounds 10  # clusters drained in parallel
 //	wlsim -scenario scenarios/partition-heal.json   # run a declarative scenario
 //
 // -scenario runs one internal/scenario JSON file — topology, delay
@@ -76,6 +78,8 @@ func main() {
 		trace    = flag.Int("trace", 0, "print the first N actions of the execution log")
 		spread   = flag.Float64("spread", 2.0, "initial clock spread in seconds (startup mode)")
 		shards   = flag.Int("shards", 1, "run on the sharded time-window engine across this many shards (deterministic: results are identical for every value)")
+		topology = flag.String("topology", "flat", "synchronization topology: flat (all-to-all mesh) or two-tier (clustered hierarchy)")
+		clusters = flag.Int("clusters", 0, "two-tier cluster size c (implies -topology two-tier; 0 with two-tier = c ≈ √n)")
 		trials   = flag.Int("trials", 1, "run this many derived-seed trials of the same configuration")
 		workers  = flag.Int("workers", 0, "worker pool size for -trials (0 = GOMAXPROCS)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -130,6 +134,14 @@ func main() {
 			})
 		}
 		defer flushProfiles()
+	}
+
+	if *topology != "flat" && *topology != "two-tier" {
+		exitOn(fmt.Errorf("wlsim: unknown -topology %q (flat|two-tier)", *topology))
+	}
+	if *topology == "two-tier" || *clusters > 0 {
+		exitOn(runTwoTier(*n, *f, *rounds, *rho, p.Seconds(), *seed, *clusters, *shards, *topology))
+		return
 	}
 
 	if *startup {
@@ -216,6 +228,62 @@ func main() {
 		fmt.Println("\nexecution trace:")
 		fmt.Print(rep.Trace)
 	}
+}
+
+// runTwoTier drives the two-tier hierarchy (-topology two-tier / -clusters).
+// Flags that configure the flat mesh's single substrate, its fault slots or
+// its flat-only reports are rejected by name — the same style -shards uses
+// for its feature conflicts — instead of being silently ignored. An
+// explicitly-set -f becomes the outer tier's representative budget f_out;
+// left at its default it is derived from the cluster count.
+func runTwoTier(n, f, rounds int, rho, p float64, seed int64, clusters, shards int, topo string) error {
+	visited := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { visited[fl.Name] = true })
+	if topo == "flat" && visited["topology"] {
+		return fmt.Errorf("wlsim: -clusters implies -topology two-tier; drop -topology flat or -clusters")
+	}
+	for _, rej := range []struct{ name, why string }{
+		{"delta", "two-tier runs on its own (δ_in, ε_in)/(δ_out, ε_out) substrate pair"},
+		{"eps", "two-tier runs on its own (δ_in, ε_in)/(δ_out, ε_out) substrate pair"},
+		{"beta", "two-tier derives both tiers' A4 spreads"},
+		{"k", "two-tier rounds are single-exchange per tier"},
+		{"stagger", "two-tier traffic is already clustered unicast"},
+		{"mean", "both tiers run midpoint averaging"},
+		{"adversarial", "two-tier uses its clustered two-band delay model"},
+		{"faults", "two-tier fault injection lives in experiment E20"},
+		{"adversary", "two-tier fault injection lives in experiment E20"},
+		{"trace", "per-delivery tracing is flat-only"},
+		{"startup", "the §9.2 establishment algorithm is flat-only"},
+		{"spread", "the §9.2 establishment algorithm is flat-only"},
+		{"trials", "the trial table's adjustment/validity columns are flat-only"},
+	} {
+		if visited[rej.name] {
+			return fmt.Errorf("wlsim: -%s is not supported with the two-tier topology (%s); drop -%s or the topology flags", rej.name, rej.why, rej.name)
+		}
+	}
+	fOut := 0
+	if visited["f"] {
+		fOut = f
+	}
+	opts := []clocksync.Option{
+		clocksync.WithRho(rho),
+		clocksync.WithRoundLength(p),
+		clocksync.WithSeed(seed),
+		clocksync.WithClusters(clusters),
+	}
+	if shards > 1 {
+		opts = append(opts, clocksync.WithShards(shards))
+	}
+	c, err := clocksync.New(n, fOut, opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := c.Run(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
 }
 
 // runScenario loads, runs and renders one declarative scenario. Assertion

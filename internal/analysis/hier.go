@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HierParams couples the two parameter sets of a two-tier composition of the
+// paper's algorithm: Inner describes one cluster's instance (N is the cluster
+// size, F the per-cluster fault tolerance f_in, and δ/ε the intra-cluster
+// substrate), Outer the representative instance (N is the number of clusters,
+// F the tolerated number of Byzantine representatives f_out, and δ/ε the
+// cross-cluster substrate).
+//
+// The composition (internal/hier) runs the §4.2 algorithm twice: every
+// cluster synchronizes its members on the inner substrate, and each cluster's
+// representative runs a second instance across clusters on the outer
+// substrate, relaying every outer adjustment to its followers as a discipline
+// message. Neither tier depends on the other's message traffic, so per-round
+// copies drop from n² to ≈ n·c + (n/c)².
+type HierParams struct {
+	Inner Params
+	Outer Params
+}
+
+// GammaComposed returns the steady-state agreement envelope of the two-tier
+// composition. For nonfaulty members p (cluster j, representative r_j) and q
+// (cluster j', representative r_j'), the triangle inequality splits the skew
+// into three independently bounded legs:
+//
+//	|L_p − L_q| ≤ |L_p − L_r_j| + |L_r_j − L_r_j'| + |L_r_j' − L_q|
+//
+// The first and third legs are within-cluster skews, each ≤ γ_in by Theorem
+// 16 applied to the inner instance (the outer discipline is common-mode
+// inside a cluster: every member applies the same adjustment stream, so it
+// cancels out of the member−representative difference once delivered). The
+// middle leg is the representatives' skew, ≤ γ_out by Theorem 16 applied to
+// the outer instance. The remaining term is propagation: a representative
+// applies its outer adjustment immediately but a follower only after the
+// discipline message crosses the intra-cluster substrate, so for up to
+// δ_in+ε_in of real time the two can differ by that one adjustment, which
+// Theorem 4(a) bounds by AdjBound of the outer instance. Hence
+//
+//	γ_composed = 2·γ_in + γ_out + AdjBound_out
+//
+// Every term is N-free (γ and AdjBound depend only on ρ, β, δ, ε), so one
+// HierParams value covers heterogeneous cluster sizes.
+func (h HierParams) GammaComposed() float64 {
+	return 2*h.Inner.Gamma() + h.Outer.Gamma() + h.Outer.AdjBound()
+}
+
+// Validate checks both instances against the full §5.2 constraint set. The
+// inner instance is validated with its own (N, F) pair — callers with
+// heterogeneous cluster sizes validate once per distinct size, cheaply,
+// because only the A2 count check depends on N.
+func (h HierParams) Validate() error {
+	var errs []error
+	if err := h.Inner.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("inner tier: %w", err))
+	}
+	if err := h.Outer.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("outer tier: %w", err))
+	}
+	return errors.Join(errs...)
+}

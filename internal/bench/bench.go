@@ -21,6 +21,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/hier"
 	"repro/internal/sim"
 )
 
@@ -234,7 +235,7 @@ const largeNRounds = 10
 func LargeN(n int, s sim.Scheduler, m sim.BroadcastMode) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
-		var events float64
+		var events, msgs float64
 		peak := 0
 		for i := 0; i < b.N; i++ {
 			eng, cfg, tmax0, err := NewLargeNEngine(n, 1, s, m)
@@ -249,11 +250,64 @@ func LargeN(n int, s sim.Scheduler, m sim.BroadcastMode) func(*testing.B) {
 				b.Fatalf("only %d rounds simulated", r)
 			}
 			events += float64(eng.Steps())
-			peak = eng.QueuePeak() // deterministic: identical every op
+			msgs = float64(eng.MessagesSent()) // deterministic: identical every op
+			peak = eng.QueuePeak()
 		}
 		b.StopTimer()
 		b.ReportMetric(events/float64(b.N), "events/op")
 		b.ReportMetric(float64(peak), "peak-queue-events")
+		b.ReportMetric(msgs/float64(largeNRounds), "msgs-per-round")
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(events/s, "events/sec")
+		}
+	}
+}
+
+// NewLargeNHierEngine builds the two-tier counterpart of the LargeN
+// workload: n processes in clusters of c (internal/hier defaults) on the
+// sequential engine, so the flat and hierarchical numbers differ only in
+// topology.
+func NewLargeNHierEngine(n, c int, seed int64) (*sim.Engine, *hier.System, error) {
+	s, err := hier.Build(hier.Default(n, c))
+	if err != nil {
+		return nil, nil, err
+	}
+	scfg := s.SimConfig(largeNRounds, seed)
+	scfg.MaxSteps = 1 << 40
+	eng, err := sim.New(scfg)
+	return eng, s, err
+}
+
+// LargeNHier returns a benchmark running largeNRounds maintenance rounds of
+// the two-tier hierarchy at size n, cluster size c, per op. Same rounds and
+// seed discipline as LargeN, so the events/sec and msgs-per-round entries
+// committed next to the flat ones quantify the topology change alone: the
+// per-round traffic collapses from n² to ≈ n·c + (n/c)², and with it the
+// wall-clock cost of simulating (or running) one round.
+func LargeNHier(n, c int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events, msgs float64
+		peak := 0
+		for i := 0; i < b.N; i++ {
+			eng, s, err := NewLargeNHierEngine(n, c, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(s.Horizon(largeNRounds)); err != nil {
+				b.Fatal(err)
+			}
+			if r := eng.Process(0).(*hier.Member).Round(); r < largeNRounds {
+				b.Fatalf("only %d rounds simulated", r)
+			}
+			events += float64(eng.Steps())
+			msgs = float64(eng.MessagesSent()) // deterministic: identical every op
+			peak = eng.QueuePeak()
+		}
+		b.StopTimer()
+		b.ReportMetric(events/float64(b.N), "events/op")
+		b.ReportMetric(float64(peak), "peak-queue-events")
+		b.ReportMetric(msgs/float64(largeNRounds), "msgs-per-round")
 		if s := b.Elapsed().Seconds(); s > 0 {
 			b.ReportMetric(events/s, "events/sec")
 		}
@@ -280,7 +334,7 @@ func NewLargeNShardedEngine(n int, seed int64, k int) (*sim.ShardedEngine, core.
 func LargeNSharded(n, k int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
-		var events float64
+		var events, msgs float64
 		peak := 0
 		var stats sim.ShardStats
 		for i := 0; i < b.N; i++ {
@@ -296,6 +350,7 @@ func LargeNSharded(n, k int) func(*testing.B) {
 				b.Fatalf("only %d rounds simulated", r)
 			}
 			events += float64(se.Steps())
+			msgs = float64(se.MessagesSent()) // deterministic: identical every op
 			peak = se.QueuePeak()
 			stats = se.Stats() // deterministic: identical every op
 		}
@@ -306,6 +361,7 @@ func LargeNSharded(n, k int) func(*testing.B) {
 		b.ReportMetric(events/float64(b.N), "events/op")
 		b.ReportMetric(float64(peak), "peak-queue-events")
 		b.ReportMetric(float64(stats.Barriers), "barrier-count")
+		b.ReportMetric(msgs/float64(largeNRounds), "msgs-per-round")
 		if s := b.Elapsed().Seconds(); s > 0 {
 			b.ReportMetric(events/s, "events/sec")
 		}

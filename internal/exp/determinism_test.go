@@ -39,7 +39,7 @@ func TestSweepDeterminism(t *testing.T) {
 		t.Skip("experiments are integration-sized")
 	}
 	defer runner.SetDefaultWorkers(0)
-	for _, id := range []string{"E05", "E13", "E18"} {
+	for _, id := range []string{"E05", "E13", "E18", "E20"} {
 		t.Run(id, func(t *testing.T) {
 			// workers=1 takes the runner's strictly serial path and is
 			// the reference rendering.

@@ -97,9 +97,9 @@ func TestGoldenTablesLazyBroadcast(t *testing.T) {
 	// parallel subtest has finished.
 	t.Run("forced-lazy", func(t *testing.T) {
 		for _, e := range All() {
-			if e.ID == "E19" {
-				// E19 drives sim.NewSharded directly, not the Workload
-				// harness; the override cannot affect it.
+			if e.ID == "E19" || e.ID == "E20" {
+				// E19 and E20 drive sim.NewSharded / sim.New directly, not
+				// the Workload harness; the override cannot affect them.
 				continue
 			}
 			e := e

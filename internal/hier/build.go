@@ -1,0 +1,100 @@
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// System is an assembled two-tier instance ready to hand to sim.New or
+// sim.NewSharded: physical clocks, A4-satisfying initial corrections and
+// START times, and one Member automaton per process. Experiments substitute
+// faulty automata into Procs (and flag them in the sim.Config) before
+// constructing the engine.
+type System struct {
+	Cfg      Config
+	Clocks   []clock.Clock
+	Corrs    []clock.Local
+	Starts   []clock.Real
+	Procs    []sim.Process
+	MaxStart clock.Real
+}
+
+// Build validates cfg and assembles the system. Initial corrections spread
+// the initial logical clocks evenly over a real-time width chosen to satisfy
+// both tiers' A4 at once: the global spread stays within β_out, and — since
+// clusters are contiguous id ranges — the induced within-cluster spread
+// (width·(c−1)/(n−1)) stays within β_in.
+func Build(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("hier: %w", err)
+	}
+	n := cfg.N
+	drift := clock.ConstantDrift{RhoBound: cfg.Rho}
+	clocks := make([]clock.Clock, n)
+	for i := range clocks {
+		clocks[i] = drift.Build(i, n)
+	}
+
+	width := 0.9 * cfg.OuterBeta
+	if n > 1 && cfg.ClusterSize > 1 {
+		if inner := width * float64(cfg.ClusterSize-1) / float64(n-1); inner > 0.9*cfg.InnerBeta {
+			width *= 0.9 * cfg.InnerBeta / inner
+		}
+	}
+	corrs := make([]clock.Local, n)
+	starts := make([]clock.Real, n)
+	procs := make([]sim.Process, n)
+	maxStart := clock.Real(0)
+	for i := 0; i < n; i++ {
+		var spread clock.Real
+		if n > 1 {
+			spread = clock.Real(width) * clock.Real(i) / clock.Real(n-1)
+		}
+		corrs[i] = clock.Local(cfg.T0) - clocks[i].At(spread)
+		starts[i] = clocks[i].Inv(clock.Local(cfg.T0) - corrs[i])
+		procs[i] = NewMember(cfg, sim.ProcID(i), corrs[i])
+		if starts[i] > maxStart {
+			maxStart = starts[i]
+		}
+	}
+	return &System{
+		Cfg: cfg, Clocks: clocks, Corrs: corrs, Starts: starts,
+		Procs: procs, MaxStart: maxStart,
+	}, nil
+}
+
+// SimConfig returns an engine configuration for running the system `rounds`
+// maintenance rounds: the clustered two-band network, a queue hint sized to
+// the hierarchy's per-round copy count (not the flat n²), and a step budget
+// with the same slack factor the flat experiments use.
+func (s *System) SimConfig(rounds int, seed int64) sim.Config {
+	perRound := int(s.Cfg.MsgsPerRound())
+	return sim.Config{
+		Procs:     s.Procs,
+		Clocks:    s.Clocks,
+		StartAt:   s.Starts,
+		Delay:     NewClusteredDelay(s.Cfg),
+		Seed:      seed,
+		EventHint: perRound + 4*s.Cfg.N + 64,
+		MaxSteps:  (rounds + 4) * (perRound + 4*s.Cfg.N),
+	}
+}
+
+// Horizon returns a real-time end that lets every process finish `rounds`
+// inner rounds plus the trailing outer window and discipline delivery.
+func (s *System) Horizon(rounds int) clock.Real {
+	c := s.Cfg
+	return s.MaxStart + clock.Real(
+		float64(rounds)*c.P*(1+2*c.Rho)+2*c.OuterParams().Window()+c.OuterDelta+1)
+}
+
+// Warmup returns the real time after which steady-state invariants are
+// expected to hold: half the rounds, matching the flat experiments'
+// convention, which covers the inner convergence and at least one full
+// outer round of discipline.
+func (s *System) Warmup(rounds int) clock.Real {
+	return s.MaxStart + clock.Real(float64(rounds/2)*s.Cfg.P)
+}

@@ -1,0 +1,125 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// HierAgreement is the composed agreement predicate of the two-tier topology
+// (internal/hier): from Warmup on, the nonfaulty local-time spread across
+// the whole system stays within Gamma = γ_composed
+// (analysis.HierParams.GammaComposed), and — when GammaIn > 0 — the spread
+// inside every cluster stays within the inner tier's own γ. The two checks
+// together pin both halves of the composition argument: the inner instances
+// keep clusters tight, and the outer instance plus discipline keeps the
+// clusters' frames together.
+//
+// Exclude marks whole clusters (by cluster index) whose members should be
+// left out of the *global* spread — the partition experiment cuts one
+// cluster off and asserts the connected majority still agrees, while the
+// per-cluster check continues to cover the partitioned cluster's internal
+// tightness. A nil Exclude checks everyone.
+type HierAgreement struct {
+	recorder
+	Gamma       float64
+	GammaIn     float64
+	ClusterSize int
+	Warmup      clock.Real
+	Exclude     []bool
+
+	lo, hi []clock.Local
+	seen   []bool
+}
+
+var _ sim.Sampler = (*HierAgreement)(nil)
+
+// NewHierAgreement builds the composed checker. gammaIn ≤ 0 disables the
+// per-cluster check.
+func NewHierAgreement(gamma, gammaIn float64, clusterSize int, warmup clock.Real) *HierAgreement {
+	return &HierAgreement{
+		recorder: recorder{name: "hier-agreement"},
+		Gamma:    gamma, GammaIn: gammaIn,
+		ClusterSize: clusterSize, Warmup: warmup,
+	}
+}
+
+// Sample implements sim.Sampler.
+func (h *HierAgreement) Sample(e *sim.Engine, _ bool) {
+	t := e.Now()
+	if t < h.Warmup {
+		return
+	}
+	nc := (e.N() + h.ClusterSize - 1) / h.ClusterSize
+	if h.seen == nil {
+		h.lo = make([]clock.Local, nc)
+		h.hi = make([]clock.Local, nc)
+		h.seen = make([]bool, nc)
+	}
+	for j := range h.seen {
+		h.seen[j] = false
+	}
+	for _, p := range e.NonfaultyIDs() {
+		lt, ok := e.LocalTime(p, t)
+		if !ok {
+			continue
+		}
+		j := int(p) / h.ClusterSize
+		if !h.seen[j] {
+			h.lo[j], h.hi[j], h.seen[j] = lt, lt, true
+			continue
+		}
+		if lt < h.lo[j] {
+			h.lo[j] = lt
+		}
+		if lt > h.hi[j] {
+			h.hi[j] = lt
+		}
+	}
+
+	var glo, ghi clock.Local
+	members := 0
+	for j := 0; j < nc; j++ {
+		if !h.seen[j] || (h.Exclude != nil && j < len(h.Exclude) && h.Exclude[j]) {
+			continue
+		}
+		if members == 0 {
+			glo, ghi = h.lo[j], h.hi[j]
+		} else {
+			if h.lo[j] < glo {
+				glo = h.lo[j]
+			}
+			if h.hi[j] > ghi {
+				ghi = h.hi[j]
+			}
+		}
+		members++
+	}
+	if members == 0 {
+		return
+	}
+	h.checked++
+	if skew := float64(ghi - glo); skew > h.Gamma {
+		h.violate(Violation{
+			Invariant: h.name, At: t, Proc: -1,
+			Amount: skew - h.Gamma,
+			Detail: fmt.Sprintf("global skew %.3gs > γ_composed %.3gs", skew, h.Gamma),
+		})
+	}
+	if h.GammaIn <= 0 {
+		return
+	}
+	for j := 0; j < nc; j++ {
+		if !h.seen[j] {
+			continue
+		}
+		if skew := float64(h.hi[j] - h.lo[j]); skew > h.GammaIn {
+			h.violate(Violation{
+				Invariant: h.name, At: t, Proc: -1,
+				Amount: skew - h.GammaIn,
+				Detail: fmt.Sprintf("cluster %d skew %.3gs > γ_in %.3gs", j, skew, h.GammaIn),
+			})
+		}
+	}
+}

@@ -18,6 +18,15 @@ const (
 	// TagStartupRound fires when a start-up (§9.2) process begins a round
 	// (value: round index).
 	TagStartupRound = "startup_round"
+	// TagOuterAdjust fires when a two-tier representative (internal/hier)
+	// applies an outer-tier update (value: the adjustment applied).
+	TagOuterAdjust = "outer_adj"
+	// TagDiscipline fires when a two-tier follower applies a relayed outer
+	// adjustment from its representative (value: the adjustment).
+	TagDiscipline = "discipline"
+	// TagElect fires when a two-tier follower deposes a silent
+	// representative (value: the newly elected representative's id).
+	TagElect = "elect"
 )
 
 // NewDefaultRoundRecorder builds a RoundRecorder for the canonical tags.

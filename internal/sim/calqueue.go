@@ -91,6 +91,22 @@ const (
 	// next-round timers a full period away, rejoin wake-ups — belongs in
 	// the overflow heap and must not stretch the window.
 	calNearFactor = 16
+	// calDenseFill is the average per-bucket fill above which a finished
+	// window counts as message-dense, disqualifying its near spills from
+	// raising the horizon floor (see sched.rotate). Sized a few multiples
+	// above calTargetFill so ordinary round windows (which run overfull by
+	// design once the floor is set) are classified dense, while timer-drain
+	// windows (a handful of entries per bucket at most) stay sparse.
+	calDenseFill = 4 * calTargetFill
+	// calContLead, in declared delay windows, is how far past a window's
+	// end a spill still counts as contiguous with the window's own traffic
+	// for the horizon ratchet. Events pushed during a drain land at most
+	// about one delay window past the drain position (a fan-out's delivery
+	// lead), so a spill further out than span + calContLead·spanHint is a
+	// separate future cluster across a dead gap — the rotation machinery
+	// jumps to it and the overflow scan sizes its window; stretching the
+	// current window across the gap only dilutes bucket resolution.
+	calContLead = 2
 	// calMinWidth floors the bucket width so degenerate tuning inputs
 	// (ε = δ = 0, fuzzed NaN/Inf spans) cannot collapse the window to a
 	// zero- or negative-width bucket.
@@ -355,8 +371,11 @@ type calQueue struct {
 	inserted  int     // entries accepted into this window
 	used      int     // buckets that went nonempty this window
 	maxDtNear float64 // furthest near-future spill past the window end
+	maxDtCont float64 // furthest near spill contiguous with the window (≤ contLimit)
+	contLimit float64 // contiguity band: span + contLead (recomputed per reset)
+	contLead  float64 // calContLead · spanHint (set once at activation)
 	nearLimit float64 // near/far spill boundary (calNearFactor · span)
-	reqWidth  float64 // sticky horizon floor: max maxDtNear/buckets so far
+	reqWidth  float64 // sticky horizon floor: max contiguous spill/buckets so far
 }
 
 // reset rewinds the calendar to a fresh window anchored at start. All
@@ -371,7 +390,8 @@ func (c *calQueue) reset(start clock.Real, width float64) {
 	c.width = width
 	c.invWidth = 1 / width
 	c.cur, c.pos, c.sorted = 0, 0, false
-	c.inserted, c.used, c.maxDtNear = 0, 0, 0
+	c.inserted, c.used, c.maxDtNear, c.maxDtCont = 0, 0, 0, 0
+	c.contLimit = width*float64(len(c.buckets)) + c.contLead
 }
 
 // tryPush files en into its bucket, or reports false when the event lies
@@ -382,8 +402,13 @@ func (c *calQueue) tryPush(en entry) bool {
 	dt := en.at - float64(c.start)
 	f := dt * c.invWidth
 	if !(f < float64(len(c.buckets))) { // also catches NaN defensively
-		if dt < c.nearLimit && dt > c.maxDtNear {
-			c.maxDtNear = dt
+		if dt < c.nearLimit {
+			if dt > c.maxDtNear {
+				c.maxDtNear = dt
+			}
+			if dt <= c.contLimit && dt > c.maxDtCont {
+				c.maxDtCont = dt
+			}
 		}
 		return false
 	}
@@ -504,6 +529,7 @@ type sched struct {
 	oheap     entryHeap  // calendar mode far-future overflow
 	bcasts    bcastStore // lazy broadcast records (heads are in the queue)
 	copyPool  [][]bcopy  // recycled bcopy capacity for cross-shard chunks
+	scanBuf   []float64  // rotate's overflow-scan scratch (reused)
 	calOn     bool
 	mode      Scheduler
 	spanHint  float64 // declared delay window δ+2ε, seeds the bucket width
@@ -883,6 +909,7 @@ func (s *sched) activate() {
 		s.cal.buckets[i] = arena[o : o : o+calArenaFill]
 	}
 	s.cal.nearLimit = calNearFactor * s.spanHint
+	s.cal.contLead = calContLead * s.spanHint
 	s.calOn = true
 
 	start := clock.Real(0)
@@ -923,8 +950,9 @@ func (s *sched) rotate() {
 	if calDebug {
 		// Explicitly stderr: rotation diagnostics must never interleave with
 		// experiment/golden table output on stdout.
-		fmt.Fprintf(os.Stderr, "rotate: width(ns)=%d inserted=%d used=%d maxDtNear(ns)=%d heapLen=%d\n",
-			int64(c.width*1e9), c.inserted, c.used, int64(c.maxDtNear*1e9), s.oheap.len())
+		fmt.Fprintf(os.Stderr, "rotate: width(ns)=%d inserted=%d used=%d maxDtCont(ns)=%d maxDtNear(ns)=%d span(ns)=%d heapLen=%d\n",
+			int64(c.width*1e9), c.inserted, c.used, int64(c.maxDtCont*1e9), int64(c.maxDtNear*1e9),
+			int64(c.width*float64(len(c.buckets))*1e9), s.oheap.len())
 	}
 	// Width tuning, from two decoupled signals of the finished window:
 	//
@@ -949,8 +977,38 @@ func (s *sched) rotate() {
 	// whole rounds — so the floor only ever rises. It converges within a
 	// rotation or two because it is computed from observed times, not
 	// stepped by fixed factors, and stays bounded by nearLimit/buckets.
+	//
+	// Two refinements, both found by profiling K-exchange sub-rounds at
+	// calendar scale (the ROADMAP's "inter-cluster gap" question):
+	//
+	//   - Only a *sparse* window may raise the floor. A window that was
+	//     already message-dense (average fill past calDenseFill) and still
+	//     spilled is not looking at an undersized view of one cluster — it
+	//     is draining continuous traffic (sub-rounds packed at their
+	//     minimum spacing tile into a continuum), where the spill horizon
+	//     recedes with the window itself: spill ≈ span + sub-period,
+	//     whatever the span. Chasing that target ratchets the width up to
+	//     the nearLimit cap, thousands of entries per bucket, and O(tail)
+	//     insertion shifts into the live bucket. Round-structured traffic
+	//     is unaffected: its floor is set by the sparse timer-drain windows
+	//     between clusters, which stay eligible. Measured at n=1009, K=8,
+	//     sub-period at its floor: ungated, the width ratchets 2.9µs → 15µs
+	//     and climbing by round 4, throughput drops ~1.9× and bucket
+	//     regrowth allocates ~10× the bytes.
+	//
+	//   - Only spills *contiguous* with the window's traffic (maxDtCont,
+	//     within calContLead delay windows past the end) set the target.
+	//     A spill across a dead gap is a distinct future cluster — e.g.
+	//     sub-rounds spaced well apart but still inside nearLimit — and
+	//     stretching the window over the gap dilutes every bucket the
+	//     actual traffic lands in. Measured at n=1009, K=8, sub-period
+	//     P/8 ≈ 125 ms (inside nearLimit ≈ 166 ms): ungated, the sparse
+	//     timer windows stretch the span to ≈ 108 ms, fill ≈ 5200 per
+	//     bucket, and throughput drops ~1.8×; gated, the span stays at one
+	//     cluster and rotation jumps the gap through the overflow heap.
 	nb1 := float64(len(c.buckets) - 1)
-	if wh := c.maxDtNear / nb1; wh > c.reqWidth {
+	sparse := c.inserted <= calDenseFill*c.used
+	if wh := c.maxDtCont / nb1; sparse && wh > c.reqWidth {
 		c.reqWidth = wh
 	}
 	// The push-time spill signal only sees traffic that arrived while a
@@ -960,12 +1018,29 @@ func (s *sched) rotate() {
 	// (unsorted) overflow array reads the cluster's near-future spread
 	// directly, so the next window covers it in full. The heap is small in
 	// steady state (timers, rejoin wake-ups), so the scan is cheap.
+	//
+	// "Spread" here means the contiguous cluster anchored at the earliest
+	// event, not the furthest near-future distance: the heap routinely
+	// holds the imminent cluster and the one after it (sub-round timers a
+	// sub-period away, still inside nearLimit), and measuring across both
+	// would stretch the window over the dead gap between them — the same
+	// failure mode the contiguity band guards against on the push path.
+	// Chaining sorted gaps ≤ contLead gives the imminent cluster's true
+	// extent, whatever its internal shape.
 	base := s.oheap.peek().at
-	spread := 0.0
+	s.scanBuf = s.scanBuf[:0]
 	for i := range s.oheap.items {
-		if dt := s.oheap.items[i].at - base; dt < c.nearLimit && dt > spread {
-			spread = dt
+		if dt := s.oheap.items[i].at - base; dt < c.nearLimit {
+			s.scanBuf = append(s.scanBuf, dt)
 		}
+	}
+	slices.Sort(s.scanBuf)
+	spread := 0.0
+	for _, dt := range s.scanBuf {
+		if dt-spread > c.contLead {
+			break
+		}
+		spread = dt
 	}
 	if wh := spread / nb1; wh > c.reqWidth {
 		c.reqWidth = wh

@@ -169,6 +169,64 @@ func TestCalendarTunerConverges(t *testing.T) {
 	}
 }
 
+// TestCalendarTunerIgnoresGapSeparatedClusters checks the horizon signal's
+// contiguity band: clusters whose spacing fits inside nearLimit but leaves a
+// dead gap wider than the contiguity lead must NOT stretch the window across
+// the gap — the rotation machinery jumps it instead. (K-exchange sub-rounds
+// at sub-period P/k land exactly here; before the band, the tuner widened
+// the span to the inter-cluster distance and bucket fill grew ~25×.)
+func TestCalendarTunerIgnoresGapSeparatedClusters(t *testing.T) {
+	s := &sched{}
+	s.init(SchedulerCalendar, 1024, 1e-3, 0) // span 1ms, contiguity lead 2ms, nearLimit 16ms
+	rng := rand.New(rand.NewSource(9))
+
+	seq := uint64(0)
+	var pending []event
+	push := func(at clock.Real) {
+		ev := event{msg: Message{DeliverAt: at}, seq: seq}
+		seq++
+		s.push(&ev)
+		pending = append(pending, ev)
+	}
+	drain := func() {
+		t.Helper()
+		for s.len() > 0 {
+			got := s.pop()
+			min := 0
+			for i := range pending {
+				if eventLess(&pending[i], &pending[min]) {
+					min = i
+				}
+			}
+			if got.seq != pending[min].seq {
+				t.Fatalf("pop seq %d, naive min seq %d", got.seq, pending[min].seq)
+			}
+			pending = append(pending[:min], pending[min+1:]...)
+		}
+	}
+	// Rounds of two clusters 10ms apart (inside nearLimit = 16ms, gap far
+	// beyond the 2ms contiguity lead), each cluster ~1ms wide. Push both
+	// before draining so the second cluster sits in the overflow heap at
+	// every rotation — the shape that used to teach the tuner the
+	// inter-cluster distance.
+	base := clock.Real(0)
+	for round := 0; round < 6; round++ {
+		for c := 0; c < 2; c++ {
+			cbase := base + clock.Real(c)*10e-3
+			for i := 0; i < 100; i++ {
+				push(cbase + clock.Real(rng.Float64()*1e-3))
+			}
+		}
+		drain()
+		base += 20e-3
+	}
+	// The window must cover one cluster (~1ms plus the seeded 2·span), not
+	// the 10ms inter-cluster distance.
+	if got := s.cal.width * float64(len(s.cal.buckets)); got > 5e-3 {
+		t.Fatalf("tuned horizon %.3gs stretched across the 10ms inter-cluster gap", got)
+	}
+}
+
 // FuzzBucketWidth feeds the width tuner degenerate and adversarial inputs —
 // zero, denormal, huge, NaN and Inf delay spans, hint sizes from empty to
 // huge, and arbitrary traffic shapes — and checks the full pop contract

@@ -50,10 +50,30 @@ const (
 	DelayAdversarial
 )
 
+// Topology selects the synchronization topology for a Cluster.
+type Topology uint8
+
+// Topologies for WithTopology.
+const (
+	// TopologyFlat is the paper's all-to-all mesh (the default): every
+	// process exchanges with every other, Θ(n²) messages per round.
+	TopologyFlat Topology = iota
+	// TopologyTwoTier composes the algorithm twice (see README
+	// "Hierarchical synchronization"): clusters run it internally on a fast
+	// substrate, elected representatives run it again across clusters, and
+	// followers discipline to their representative — ≈ n·c + (n/c)² messages
+	// per round instead of n².
+	TopologyTwoTier
+)
+
 type options struct {
 	rho           float64
 	delta, eps    float64
+	deltaSet      bool
 	beta          float64
+	betaSet       bool
+	topology      Topology
+	clusterSize   int
 	roundLength   float64
 	t0            float64
 	averager      core.Averager
@@ -113,11 +133,11 @@ func WithRho(rho float64) Option { return func(o *options) { o.rho = rho } }
 
 // WithDelay sets the message delay parameters δ and ε (A3).
 func WithDelay(delta, eps float64) Option {
-	return func(o *options) { o.delta, o.eps = delta, eps }
+	return func(o *options) { o.delta, o.eps, o.deltaSet = delta, eps, true }
 }
 
 // WithBeta sets the initial-closeness parameter β (A4).
-func WithBeta(beta float64) Option { return func(o *options) { o.beta = beta } }
+func WithBeta(beta float64) Option { return func(o *options) { o.beta, o.betaSet = beta, true } }
 
 // WithRoundLength sets the round length P (in local-time seconds). It must
 // satisfy the §5.2 constraints for the other parameters.
@@ -216,3 +236,21 @@ func WithTrace(limit int) Option {
 // ε and round length (plus a safety margin) instead of using the default or
 // a WithBeta value — the §5.2 feasibility computation done for you.
 func WithDerivedBeta() Option { return func(o *options) { o.deriveBeta = true } }
+
+// WithTopology selects the synchronization topology. TopologyTwoTier runs
+// the two-tier hierarchy with clusters of ≈ √n processes (the
+// traffic-optimal size; override with WithClusters) on the hierarchy's
+// LAN-under-WAN substrate defaults — in two-tier mode the f argument of New
+// bounds the Byzantine *representatives* f_out (0 derives the largest
+// budget the cluster count supports) and the per-cluster budget f_in is
+// derived from the cluster size. Options that configure the flat mesh's
+// single substrate or its fault slots (WithDelay, WithBeta, WithFault,
+// WithAdversary, …) are rejected with a named error; WithShards composes
+// freely, draining the clusters' inner rounds in parallel.
+func WithTopology(t Topology) Option { return func(o *options) { o.topology = t } }
+
+// WithClusters runs the two-tier hierarchy with clusters of c processes
+// (implies WithTopology(TopologyTwoTier); c ≤ 0 picks c ≈ √n).
+func WithClusters(c int) Option {
+	return func(o *options) { o.topology, o.clusterSize = TopologyTwoTier, c }
+}

@@ -47,6 +47,21 @@ type Report struct {
 	// reintegration (false when none was configured).
 	Rejoined bool
 
+	// TwoTier reports the run used the two-tier hierarchical topology
+	// (WithTopology / WithClusters). Gamma then holds the composed envelope
+	// γ_composed = 2γ_in + γ_out + AdjBound_out, the adjustment, validity
+	// and beta sections are not populated, and AgreementHolds judges the
+	// steady-state skew — the composition converges through an initial
+	// discipline transient before the envelope applies.
+	TwoTier bool
+	// Clusters and ClusterSize describe the two-tier topology (zero for
+	// flat runs).
+	Clusters, ClusterSize int
+	// InnerAgreementOK is the runtime hier-agreement invariant's verdict
+	// for two-tier runs: from warmup on, the global spread stayed within
+	// γ_composed and every cluster stayed within its own inner envelope.
+	InnerAgreementOK bool
+
 	// Trace is the rendered action log when WithTrace was used.
 	Trace string
 }
@@ -72,8 +87,15 @@ func buildReport(cfg core.Config, res *exp.Result, rj *core.Rejoiner) *Report {
 	return r
 }
 
-// AgreementHolds reports whether the measured skew respected Theorem 16.
-func (r *Report) AgreementHolds() bool { return r.MaxSkew <= r.Gamma }
+// AgreementHolds reports whether the measured skew respected Theorem 16
+// (flat: all samples vs. γ) or the composed envelope (two-tier: steady
+// samples vs. γ_composed).
+func (r *Report) AgreementHolds() bool {
+	if r.TwoTier {
+		return r.SteadySkew <= r.Gamma
+	}
+	return r.MaxSkew <= r.Gamma
+}
 
 // AdjustmentBoundHolds reports whether Theorem 4(a) held.
 func (r *Report) AdjustmentBoundHolds() bool { return r.MaxAdjustment <= r.AdjBound }
@@ -84,6 +106,15 @@ func (r *Report) ValidityHolds() bool { return r.ValidityViolation <= 0 }
 // String renders a compact human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
+	if r.TwoTier {
+		fmt.Fprintf(&b, "topology:   two-tier, %d clusters of ≤ %d\n", r.Clusters, r.ClusterSize)
+		fmt.Fprintf(&b, "rounds: %d\n", r.Rounds)
+		fmt.Fprintf(&b, "agreement:  steady skew %s (max %s) vs γ_composed %s — %s\n",
+			exp.FmtDur(r.SteadySkew), exp.FmtDur(r.MaxSkew), exp.FmtDur(r.Gamma), holds(r.AgreementHolds()))
+		fmt.Fprintf(&b, "invariant:  hier-agreement (global + per-cluster) — %s\n", holds(r.InnerAgreementOK))
+		fmt.Fprintf(&b, "messages:   %d sent, %d lost\n", r.MessagesSent, r.MessagesLost)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "rounds: %d\n", r.Rounds)
 	fmt.Fprintf(&b, "agreement:  max skew %s (steady %s) vs γ %s — %s\n",
 		exp.FmtDur(r.MaxSkew), exp.FmtDur(r.SteadySkew), exp.FmtDur(r.Gamma), holds(r.AgreementHolds()))
